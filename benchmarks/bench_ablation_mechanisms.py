@@ -1,0 +1,65 @@
+"""Ablations of Hoplite's two core mechanisms (Sections 3.3 and 3.4.1).
+
+These are not figures in the paper, but DESIGN.md calls out fine-grained
+pipelining and the receiver-driven (relaying) broadcast as the two design
+choices that produce the paper's gains, so the harness quantifies each one
+in isolation:
+
+* pipelining off  -> every copy waits for a complete upstream copy first
+  (store-and-forward), which re-introduces the extra memory-copy latency the
+  paper attributes to Ray;
+* dynamic broadcast off -> every receiver pulls from a complete copy only,
+  which re-introduces the sender-side bottleneck.
+"""
+
+from repro.bench.reporting import format_table
+from repro.bench.scenarios import measure_broadcast, measure_point_to_point_rtt
+from repro.core.options import HopliteOptions
+
+MB = 1024 * 1024
+
+FULL = HopliteOptions()
+NO_PIPELINING = HopliteOptions(enable_pipelining=False)
+NO_RELAY = HopliteOptions(enable_dynamic_broadcast=False)
+NEITHER = HopliteOptions(enable_pipelining=False, enable_dynamic_broadcast=False)
+
+
+def _ablation_rows():
+    rows = []
+    for label, options in (
+        ("full hoplite", FULL),
+        ("no pipelining", NO_PIPELINING),
+        ("no relaying", NO_RELAY),
+        ("neither", NEITHER),
+    ):
+        rows.append(
+            {
+                "variant": label,
+                "p2p_rtt_1GB": measure_point_to_point_rtt("hoplite", 1024 * MB, options=options),
+                "broadcast_64MB_8n": measure_broadcast("hoplite", 8, 64 * MB, options=options),
+                "broadcast_256MB_16n": measure_broadcast("hoplite", 16, 256 * MB, options=options),
+            }
+        )
+    return rows
+
+
+def test_ablation_pipelining_and_relaying(run_once):
+    rows = run_once(_ablation_rows)
+    print()
+    print(
+        format_table(
+            "Ablation: pipelining and receiver-driven relaying (seconds)",
+            rows,
+            ["variant", "p2p_rtt_1GB", "broadcast_64MB_8n", "broadcast_256MB_16n"],
+        )
+    )
+    by_variant = {row["variant"]: row for row in rows}
+    full = by_variant["full hoplite"]
+    # Pipelining hides the worker<->store copies on the point-to-point path.
+    assert full["p2p_rtt_1GB"] < by_variant["no pipelining"]["p2p_rtt_1GB"]
+    # Relaying removes the sender bottleneck; dropping it costs the most at scale.
+    assert full["broadcast_256MB_16n"] < by_variant["no relaying"]["broadcast_256MB_16n"] / 2
+    # Each mechanism contributes: the full system is the fastest variant everywhere.
+    for row in rows:
+        for column in ("p2p_rtt_1GB", "broadcast_64MB_8n", "broadcast_256MB_16n"):
+            assert full[column] <= row[column] * 1.001, (row["variant"], column)

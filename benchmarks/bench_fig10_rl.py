@@ -1,0 +1,29 @@
+"""Figure 10: reinforcement-learning training throughput (IMPALA / A3C).
+
+Paper: Hoplite improves IMPALA by 1.9x / 1.8x and A3C by 2.2x / 3.9x on
+8 / 16 nodes; the trainer's broadcast of the 64 MB policy (and, for A3C, the
+gradient reduce) is the communication that Hoplite removes from the trainer's
+NIC.
+"""
+
+from repro.bench.experiments import fig10_rl
+from repro.bench.reporting import format_table
+
+COLUMNS = ["algorithm", "nodes", "hoplite", "ray", "speedup"]
+
+
+def test_fig10_rl(run_once):
+    rows = run_once(fig10_rl, algorithms=("impala", "a3c"), node_counts=(8, 16), num_iterations=4)
+    print()
+    print(format_table("Figure 10: RL training throughput (samples/s)", rows, COLUMNS))
+
+    by_key = {(row["algorithm"], row["nodes"]): row for row in rows}
+    for row in rows:
+        assert row["speedup"] > 1.2, row
+    # A3C moves gradients *and* the policy, so it gains at least as much as
+    # IMPALA at 16 nodes.
+    assert by_key[("a3c", 16)]["speedup"] >= by_key[("impala", 16)]["speedup"] * 0.9
+    # Ray's A3C scales worse than Hoplite's when going from 8 to 16 nodes.
+    hoplite_scaling = by_key[("a3c", 16)]["hoplite"] / by_key[("a3c", 8)]["hoplite"]
+    ray_scaling = by_key[("a3c", 16)]["ray"] / by_key[("a3c", 8)]["ray"]
+    assert hoplite_scaling > ray_scaling

@@ -1,0 +1,23 @@
+"""Figure 11: throughput of serving an ensemble of image-classification models.
+
+Paper: Hoplite improves Ray Serve's throughput by 2.2x on 8 nodes and 3.3x
+on 16 nodes; broadcasting each query batch to every replica is the
+bottleneck under plain Ray.
+"""
+
+from repro.bench.experiments import fig11_serving
+from repro.bench.reporting import format_table
+
+COLUMNS = ["nodes", "hoplite", "ray", "speedup"]
+
+
+def test_fig11_serving(run_once):
+    rows = run_once(fig11_serving, node_counts=(8, 16), num_queries=10)
+    print()
+    print(format_table("Figure 11: ensemble serving throughput (queries/s)", rows, COLUMNS))
+
+    by_nodes = {row["nodes"]: row for row in rows}
+    for row in rows:
+        assert row["speedup"] > 1.5, row
+    # The gain grows with the number of replicas, as in the paper (2.2x -> 3.3x).
+    assert by_nodes[16]["speedup"] > by_nodes[8]["speedup"]

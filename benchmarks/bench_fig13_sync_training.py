@@ -1,0 +1,31 @@
+"""Figure 13: synchronous data-parallel training throughput.
+
+Paper: Hoplite roughly matches OpenMPI, is 12-24% slower than Gloo's
+ring-chunked allreduce (ring allreduce is more bandwidth efficient than
+reduce + broadcast), and is far faster than plain Ray.
+"""
+
+from repro.bench.experiments import fig13_sync_training
+from repro.bench.reporting import format_table
+
+COLUMNS = ["nodes", "model", "hoplite", "openmpi", "gloo", "ray"]
+
+
+def test_fig13_sync_training(run_once):
+    rows = run_once(
+        fig13_sync_training,
+        models=("alexnet", "vgg16", "resnet50"),
+        node_counts=(8, 16),
+        num_rounds=3,
+    )
+    print()
+    print(format_table("Figure 13: synchronous training throughput (samples/s)", rows, COLUMNS))
+
+    for row in rows:
+        # Hoplite beats plain Ray by a wide margin.
+        assert row["hoplite"] > row["ray"] * 2.0, row
+        # Gloo's ring-chunked allreduce is the best, but Hoplite stays within ~40%.
+        assert row["gloo"] >= row["hoplite"] * 0.95, row
+        assert row["hoplite"] >= row["gloo"] * 0.6, row
+        # Hoplite is comparable to OpenMPI (within 40% either way).
+        assert 0.6 <= row["hoplite"] / row["openmpi"] <= 1.4, row

@@ -1,0 +1,35 @@
+"""Figure 14 (Appendix A): collective microbenchmarks on small objects.
+
+Paper: objects under 64 KB are cached inline in Hoplite's object directory,
+so there is no collective communication to speak of; Hoplite is the best or
+close to the best, and clearly ahead of Ray and Dask.
+"""
+
+from repro.bench.experiments import KB, fig14_small_objects
+from repro.bench.reporting import format_table
+
+COLUMNS = [
+    "primitive",
+    "size",
+    "nodes",
+    "hoplite",
+    "openmpi",
+    "gloo",
+    "gloo_ring_chunked",
+    "gloo_halving_doubling",
+    "ray",
+    "dask",
+]
+
+
+def test_fig14_small_objects(run_once):
+    rows = run_once(fig14_small_objects, sizes=(KB, 32 * KB), node_counts=(4, 8, 16))
+    print()
+    print(format_table("Figure 14: small-object collective latency (seconds)", rows, COLUMNS))
+
+    for row in rows:
+        # Hoplite's directory fast path keeps it well ahead of Ray and Dask.
+        assert row["hoplite"] < row["ray"], row
+        assert row["hoplite"] < row["dask"], row
+        # Small-object latencies are all sub-10ms for Hoplite.
+        assert row["hoplite"] < 0.05, row

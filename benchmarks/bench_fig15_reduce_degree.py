@@ -1,0 +1,50 @@
+"""Figure 15 (Appendix B): ablation on the reduce-tree degree ``d``.
+
+Paper: for small objects the flat tree (d = n) is best because the bottleneck
+is network latency; for very large objects the chain (d = 1) is best because
+it minimizes the per-node bandwidth demand; in between, d = 2 can win.
+Hoplite's runtime selector chooses among exactly these three.
+"""
+
+from repro.bench.experiments import KB, MB, fig15_reduce_degree
+from repro.bench.reporting import format_table
+from repro.core.reduce import choose_reduce_degree
+from repro.net.config import NetworkConfig
+
+COLUMNS = ["size", "nodes", "d=1", "d=2", "d=n"]
+
+
+def test_fig15_reduce_degree(run_once):
+    rows = run_once(
+        fig15_reduce_degree,
+        sizes=(4 * KB, 32 * KB, 1 * MB, 4 * MB, 32 * MB),
+        node_counts=(8, 16, 32),
+        degrees=(1, 2, 0),
+    )
+    print()
+    print(format_table("Figure 15: reduce latency by tree degree (seconds)", rows, COLUMNS))
+
+    by_key = {(row["size"], row["nodes"]): row for row in rows}
+    # Small objects: the flat tree wins (latency bound).
+    assert by_key[("4KB", 16)]["d=n"] <= by_key[("4KB", 16)]["d=1"]
+    # Large objects: low-degree trees win (bandwidth bound); the flat tree is
+    # the worst choice by a wide margin.
+    assert by_key[("32MB", 16)]["d=1"] <= by_key[("32MB", 16)]["d=n"]
+    assert by_key[("32MB", 32)]["d=2"] <= by_key[("32MB", 32)]["d=n"]
+    # At the largest size and a small group the chain is the single best choice.
+    row_8 = by_key[("32MB", 8)]
+    assert row_8["d=1"] <= row_8["d=2"] and row_8["d=1"] <= row_8["d=n"]
+
+    # The runtime selector agrees with the measured optimum at the extremes.
+    config = NetworkConfig()
+    assert choose_reduce_degree(16, 4 * KB, config.latency, config.bandwidth) == 16
+    assert choose_reduce_degree(16, 32 * MB, config.latency, config.bandwidth) == 1
+
+
+def test_degree_model_crossover():
+    """The analytical model (Equation 1) reproduces the small/large crossover."""
+    config = NetworkConfig()
+    small = choose_reduce_degree(64, 4 * KB, config.latency, config.bandwidth)
+    large = choose_reduce_degree(64, 256 * MB, config.latency, config.bandwidth)
+    assert small == 64
+    assert large == 1

@@ -1,0 +1,30 @@
+"""Figure 6: round-trip latency of point-to-point data communication.
+
+Paper: OpenMPI is fastest for small objects (1 KB, 1 MB), Hoplite is within
+a fraction of a percent of OpenMPI (and of the optimal bound) at 1 GB, and
+Ray and Dask are significantly slower at every size.
+"""
+
+from repro.bench.experiments import GB, KB, MB, fig6_point_to_point
+from repro.bench.reporting import format_table
+
+COLUMNS = ["size", "optimal", "hoplite", "openmpi", "ray", "dask"]
+
+
+def test_fig6_point_to_point_rtt(run_once):
+    rows = run_once(fig6_point_to_point, sizes=(KB, MB, GB))
+    print()
+    print(format_table("Figure 6: point-to-point RTT (seconds)", rows, COLUMNS))
+
+    by_size = {row["size"]: row for row in rows}
+    # Small and medium objects: OpenMPI wins, Hoplite beats Ray and Dask.
+    for size in ("1KB", "1MB"):
+        row = by_size[size]
+        assert row["openmpi"] <= row["hoplite"]
+        assert row["hoplite"] < row["ray"] < row["dask"]
+    # Large objects: Hoplite is within a few percent of OpenMPI and optimal.
+    large = by_size["1GB"]
+    assert large["hoplite"] <= large["openmpi"] * 1.10
+    assert large["hoplite"] <= large["optimal"] * 1.10
+    assert large["ray"] > large["hoplite"] * 1.2
+    assert large["dask"] > large["ray"]

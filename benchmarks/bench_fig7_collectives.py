@@ -1,0 +1,54 @@
+"""Figure 7: broadcast / gather / reduce / allreduce latency, 1 MB - 1 GB.
+
+Paper: Hoplite and OpenMPI lead broadcast and reduce; gather is similar
+across systems (receiver-bound); Gloo's ring-chunked allreduce is the best
+allreduce for large objects; Ray and Dask trail everything by a wide margin
+because they have no collective support.
+"""
+
+from repro.bench.experiments import GB, MB, fig7_collectives
+from repro.bench.reporting import format_table
+
+COLUMNS = [
+    "primitive",
+    "size",
+    "nodes",
+    "hoplite",
+    "openmpi",
+    "gloo",
+    "gloo_ring_chunked",
+    "gloo_halving_doubling",
+    "ray",
+    "dask",
+]
+
+
+def test_fig7_collectives(run_once):
+    rows = run_once(fig7_collectives, sizes=(MB, 32 * MB, GB), node_counts=(4, 8, 16))
+    print()
+    print(format_table("Figure 7: collective latency (seconds)", rows, COLUMNS))
+
+    def rows_for(primitive):
+        return [row for row in rows if row["primitive"] == primitive]
+
+    # Broadcast, reduce, allreduce: Hoplite beats the naive task systems.  At
+    # 1 MB the operations are latency-bound and the gap narrows (as in the
+    # paper's Figure 7 top row), so the margin requirement scales with size.
+    for primitive in ("broadcast", "reduce", "allreduce"):
+        for row in rows_for(primitive):
+            if row["size"] == "1MB":
+                assert row["hoplite"] <= row["ray"] * 1.10, (primitive, row)
+            else:
+                assert row["hoplite"] < row["ray"], (primitive, row)
+            assert row["hoplite"] < row["dask"], (primitive, row)
+
+    # Broadcast: Hoplite is competitive with OpenMPI (within 2x either way).
+    for row in rows_for("broadcast"):
+        assert row["hoplite"] <= row["openmpi"] * 2.0
+
+    # Allreduce at 1 GB: Gloo ring-chunked is the fastest static algorithm and
+    # Hoplite stays within ~2.5x of it (the paper reports 12-24% on training).
+    for row in rows_for("allreduce"):
+        if row["size"] == "1GB":
+            assert row["gloo_ring_chunked"] <= row["hoplite"] * 1.5
+            assert row["hoplite"] <= row["gloo_ring_chunked"] * 2.5

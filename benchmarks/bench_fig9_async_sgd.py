@@ -1,0 +1,32 @@
+"""Figure 9: asynchronous parameter-server training throughput.
+
+Paper: Hoplite speeds up async SGD over Ray by up to 7.8x (AlexNet, 16
+nodes); the gain grows with the cluster size and with the model size because
+the parameter server's NIC is the bottleneck under plain Ray.
+"""
+
+from repro.bench.experiments import fig9_async_sgd
+from repro.bench.reporting import format_table
+
+COLUMNS = ["nodes", "model", "hoplite", "ray", "speedup"]
+
+
+def test_fig9_async_sgd(run_once):
+    rows = run_once(
+        fig9_async_sgd,
+        models=("alexnet", "vgg16", "resnet50"),
+        node_counts=(8, 16),
+        num_iterations=4,
+    )
+    print()
+    print(format_table("Figure 9: async SGD throughput (samples/s)", rows, COLUMNS))
+
+    by_key = {(row["nodes"], row["model"]): row for row in rows}
+    # Hoplite wins everywhere.
+    for row in rows:
+        assert row["speedup"] > 1.3, row
+    # The speedup grows with the cluster size for every model.
+    for model in ("alexnet", "vgg16", "resnet50"):
+        assert by_key[(16, model)]["speedup"] > by_key[(8, model)]["speedup"], model
+    # Large models (AlexNet/VGG) benefit more than the small ResNet-50.
+    assert by_key[(16, "alexnet")]["speedup"] > by_key[(16, "resnet50")]["speedup"]

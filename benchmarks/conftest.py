@@ -1,0 +1,20 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark drives a deterministic discrete-event simulation, so a single
+round per benchmark is sufficient and repeat runs would only re-measure the
+Python interpreter.  The helper below standardizes that convention.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a deterministic experiment exactly once under pytest-benchmark."""
+
+    def _run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

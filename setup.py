@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+The project is configured through ``pyproject.toml``; this file exists so the
+package can also be installed in environments whose tooling predates PEP 660
+editable installs (e.g. ``pip install -e . --no-use-pep517`` on an offline
+machine without the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""Benchmark harness: scenario drivers, experiment registry, and table printing.
+
+``repro.bench.scenarios`` contains the measurement drivers (one simulated
+cluster per measurement, one number out), ``repro.bench.experiments``
+assembles them into the paper's tables and figures, and
+``repro.bench.reporting`` prints the same rows/series the paper reports.
+"""
+
+from repro.bench.reporting import format_series, format_table
+from repro.bench.scenarios import (
+    SUPPORTED_SYSTEMS,
+    measure_allreduce,
+    measure_broadcast,
+    measure_gather,
+    measure_point_to_point_rtt,
+    measure_reduce,
+)
+
+__all__ = [
+    "SUPPORTED_SYSTEMS",
+    "format_series",
+    "format_table",
+    "measure_allreduce",
+    "measure_broadcast",
+    "measure_gather",
+    "measure_point_to_point_rtt",
+    "measure_reduce",
+]

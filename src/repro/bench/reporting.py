@@ -1,0 +1,60 @@
+"""Small helpers to print benchmark results as the paper's tables and series."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_value(value: float) -> str:
+    """Render a latency/throughput value compactly."""
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    if abs(value) >= 1:
+        return f"{value:.3f}"
+    if abs(value) >= 1e-3:
+        return f"{value * 1e3:.3f}m"
+    return f"{value * 1e6:.1f}u"
+
+
+def format_table(
+    title: str,
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str],
+) -> str:
+    """Render rows as a fixed-width text table."""
+    widths = {column: len(column) for column in columns}
+    rendered_rows = []
+    for row in rows:
+        rendered = {}
+        for column in columns:
+            value = row.get(column, "")
+            text = format_value(value) if isinstance(value, float) else str(value)
+            rendered[column] = text
+            widths[column] = max(widths[column], len(text))
+        rendered_rows.append(rendered)
+
+    def line(values: Mapping[str, str]) -> str:
+        return "  ".join(values[column].rjust(widths[column]) for column in columns)
+
+    header = line({column: column for column in columns})
+    separator = "-" * len(header)
+    body = [line(rendered) for rendered in rendered_rows]
+    return "\n".join([title, separator, header, separator, *body, separator])
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+) -> str:
+    """Render one figure panel: one row per x value, one column per system."""
+    rows = []
+    for index, x_value in enumerate(x_values):
+        row: dict[str, object] = {x_label: x_value}
+        for name, values in series.items():
+            row[name] = values[index] if index < len(values) else float("nan")
+        rows.append(row)
+    return format_table(title, rows, [x_label, *series.keys()])

@@ -1,0 +1,484 @@
+"""Measurement drivers for the microbenchmark figures (6, 7, 8, 14, 15).
+
+Each driver builds a fresh simulated cluster, runs one collective operation
+under one system ("hoplite", "openmpi", "gloo", "ray", "dask", ...), and
+returns the latency in simulated seconds, using the same measurement
+boundaries as the paper:
+
+* point-to-point — round-trip time of one object;
+* broadcast — from the moment every receiver calls ``Get`` (after the
+  sender's ``Put`` has completed) to the moment the last receiver finishes;
+* gather — the duration of the caller's ``Get`` over all objects;
+* reduce — from the ``Reduce`` call to the caller holding the result;
+* allreduce — from the ``Reduce`` call to the last participant holding the
+  result;
+* the asynchrony variants stagger participant arrivals by a fixed interval
+  and measure from the arrival of the first participant (Figure 8).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Sequence
+
+from repro.collectives.gloo import GlooCollectives
+from repro.collectives.mpi import MPICollectives
+from repro.collectives.naive import (
+    DASK_PROFILE,
+    RAY_PROFILE,
+    TaskSystemPlane,
+)
+from repro.collectives.plane import CommPlane, HoplitePlane
+from repro.core.options import HopliteOptions
+from repro.core.runtime import HopliteRuntime
+from repro.net.cluster import Cluster
+from repro.net.config import NetworkConfig
+from repro.net.transport import transfer_bytes
+from repro.store.objects import ObjectID, ObjectValue, ReduceOp
+
+SUPPORTED_SYSTEMS = (
+    "hoplite",
+    "openmpi",
+    "gloo",
+    "gloo_ring",
+    "gloo_ring_chunked",
+    "gloo_halving_doubling",
+    "ray",
+    "dask",
+    "optimal",
+)
+
+PLANE_SYSTEMS = ("hoplite", "ray", "dask")
+STATIC_SYSTEMS = ("openmpi", "gloo", "gloo_ring", "gloo_ring_chunked", "gloo_halving_doubling")
+
+
+class UnsupportedScenarioError(ValueError):
+    """The requested system does not implement the requested primitive."""
+
+
+def _check_system(system: str) -> None:
+    if system not in SUPPORTED_SYSTEMS:
+        raise UnsupportedScenarioError(
+            f"unknown system {system!r}; expected one of {SUPPORTED_SYSTEMS}"
+        )
+
+
+def _make_cluster(num_nodes: int, network: Optional[NetworkConfig]) -> Cluster:
+    return Cluster(num_nodes=num_nodes, network=network or NetworkConfig())
+
+
+def _make_plane(system: str, cluster: Cluster, options: Optional[HopliteOptions]) -> CommPlane:
+    if system == "hoplite":
+        return HoplitePlane(HopliteRuntime(cluster, options=options))
+    if system == "ray":
+        return TaskSystemPlane(cluster, RAY_PROFILE)
+    if system == "dask":
+        return TaskSystemPlane(cluster, DASK_PROFILE)
+    raise UnsupportedScenarioError(f"{system!r} is not an object-plane system")
+
+
+def _resolve_delays(
+    count: int,
+    arrival_interval: float,
+    arrival_delays: Optional[Sequence[float]],
+) -> list[float]:
+    """Per-participant arrival delays for the asynchrony experiments.
+
+    Explicit ``arrival_delays`` win; otherwise participant ``k`` arrives at
+    ``k * arrival_interval`` (the paper's fixed-interval arrival process).
+    """
+    if arrival_delays is not None:
+        if len(arrival_delays) != count:
+            raise ValueError(
+                f"expected {count} arrival delays, got {len(arrival_delays)}"
+            )
+        return [float(delay) for delay in arrival_delays]
+    return [index * arrival_interval for index in range(count)]
+
+
+# ---------------------------------------------------------------------------
+# Point-to-point (Figure 6)
+# ---------------------------------------------------------------------------
+
+
+def measure_point_to_point_rtt(
+    system: str,
+    nbytes: int,
+    network: Optional[NetworkConfig] = None,
+    options: Optional[HopliteOptions] = None,
+) -> float:
+    """Round-trip latency of one object between two nodes."""
+    _check_system(system)
+    network = network or NetworkConfig()
+    if system == "optimal":
+        return 2.0 * nbytes / network.bandwidth
+
+    cluster = _make_cluster(2, network)
+    sim = cluster.sim
+    finish: dict[str, float] = {}
+
+    if system == "openmpi" or system in STATIC_SYSTEMS:
+        mpi = MPICollectives(cluster)
+
+        def _round_trip() -> Generator:
+            yield from mpi.send(0, 1, nbytes)
+            yield from mpi.send(1, 0, nbytes)
+            finish["t"] = sim.now
+
+        sim.process(_round_trip(), name="p2p-mpi")
+        sim.run()
+        return finish["t"]
+
+    plane = _make_plane(system, cluster, options)
+    ping_id = ObjectID.of("p2p-ping")
+    pong_id = ObjectID.of("p2p-pong")
+
+    def _sender() -> Generator:
+        yield from plane.put(cluster.node(0), ping_id, ObjectValue.of_size(nbytes))
+        yield from plane.get(cluster.node(0), pong_id)
+        finish["t"] = sim.now
+
+    def _responder() -> Generator:
+        yield from plane.get(cluster.node(1), ping_id)
+        yield from plane.put(cluster.node(1), pong_id, ObjectValue.of_size(nbytes))
+
+    sim.process(_sender(), name="p2p-sender")
+    sim.process(_responder(), name="p2p-responder")
+    sim.run()
+    return finish["t"]
+
+
+# ---------------------------------------------------------------------------
+# Broadcast (Figures 7, 8a, 14)
+# ---------------------------------------------------------------------------
+
+
+def measure_broadcast(
+    system: str,
+    num_nodes: int,
+    nbytes: int,
+    arrival_interval: float = 0.0,
+    arrival_delays: Optional[Sequence[float]] = None,
+    network: Optional[NetworkConfig] = None,
+    options: Optional[HopliteOptions] = None,
+) -> float:
+    """Latency of broadcasting one object from node 0 to all other nodes.
+
+    For the static systems the per-rank ``arrival_delays`` (or the uniform
+    ``arrival_interval``) cover all ``num_nodes`` ranks including the root;
+    for the object-plane systems they cover the ``num_nodes - 1`` receivers.
+    """
+    _check_system(system)
+    network = network or NetworkConfig()
+    if system == "optimal":
+        return nbytes / network.bandwidth
+    if num_nodes < 2:
+        raise ValueError("broadcast needs at least two nodes")
+
+    cluster = _make_cluster(num_nodes, network)
+    sim = cluster.sim
+    finish_times: list[float] = []
+
+    if system in STATIC_SYSTEMS:
+        if system in ("gloo_ring", "gloo_ring_chunked", "gloo_halving_doubling"):
+            raise UnsupportedScenarioError("Gloo's allreduce variants do not broadcast")
+        if system == "openmpi":
+            op = MPICollectives(cluster).broadcast(nbytes, root=0)
+        else:
+            op = GlooCollectives(cluster).broadcast(nbytes, root=0)
+        delays = _resolve_delays(num_nodes, arrival_interval, arrival_delays)
+
+        def _rank(rank: int, delay: float) -> Generator:
+            if delay > 0:
+                yield sim.timeout(delay)
+            result = yield from op.participate(rank)
+            finish_times.append(result.finish_time)
+
+        for rank in range(num_nodes):
+            sim.process(_rank(rank, delays[rank]), name=f"bcast-rank-{rank}")
+        sim.run()
+        return max(finish_times)
+
+    plane = _make_plane(system, cluster, options)
+    object_id = ObjectID.unique("bcast")
+    delays = _resolve_delays(num_nodes - 1, arrival_interval, arrival_delays)
+
+    def _scenario() -> Generator:
+        # The sender's Put completes before the measurement window opens.
+        yield from plane.put(cluster.node(0), object_id, ObjectValue.of_size(nbytes))
+        epoch = sim.now
+        receivers = []
+
+        def _receiver(node_id: int, delay: float) -> Generator:
+            if delay > 0:
+                yield sim.timeout(delay)
+            yield from plane.get(cluster.node(node_id), object_id)
+            finish_times.append(sim.now - epoch)
+
+        for index, node_id in enumerate(range(1, num_nodes)):
+            receivers.append(
+                sim.process(
+                    _receiver(node_id, delays[index]),
+                    name=f"bcast-recv-{node_id}",
+                )
+            )
+        yield sim.all_of(receivers)
+
+    sim.process(_scenario(), name="bcast-scenario")
+    sim.run()
+    return max(finish_times)
+
+
+# ---------------------------------------------------------------------------
+# Gather (Figures 7, 14)
+# ---------------------------------------------------------------------------
+
+
+def measure_gather(
+    system: str,
+    num_nodes: int,
+    nbytes: int,
+    network: Optional[NetworkConfig] = None,
+    options: Optional[HopliteOptions] = None,
+) -> float:
+    """Latency for node 0 to gather one object from every other node."""
+    _check_system(system)
+    network = network or NetworkConfig()
+    if system == "optimal":
+        return (num_nodes - 1) * nbytes / network.bandwidth
+    if num_nodes < 2:
+        raise ValueError("gather needs at least two nodes")
+
+    cluster = _make_cluster(num_nodes, network)
+    sim = cluster.sim
+    result: dict[str, float] = {}
+
+    if system in STATIC_SYSTEMS:
+        if system != "openmpi":
+            raise UnsupportedScenarioError(f"{system!r} does not implement gather")
+        op = MPICollectives(cluster).gather(nbytes, root=0)
+        finishes: list[float] = []
+
+        def _rank(rank: int) -> Generator:
+            rank_result = yield from op.participate(rank)
+            finishes.append(rank_result.finish_time)
+
+        for rank in range(num_nodes):
+            sim.process(_rank(rank), name=f"gather-rank-{rank}")
+        sim.run()
+        return max(finishes)
+
+    plane = _make_plane(system, cluster, options)
+    object_ids = [ObjectID.unique(f"gather-{i}") for i in range(1, num_nodes)]
+
+    def _scenario() -> Generator:
+        puts = []
+        for index, node_id in enumerate(range(1, num_nodes)):
+            puts.append(
+                sim.process(
+                    plane.put(
+                        cluster.node(node_id), object_ids[index], ObjectValue.of_size(nbytes)
+                    ),
+                    name=f"gather-put-{node_id}",
+                )
+            )
+        yield sim.all_of(puts)
+        epoch = sim.now
+        gets = [
+            sim.process(
+                plane.get(cluster.node(0), object_id), name=f"gather-get-{object_id}"
+            )
+            for object_id in object_ids
+        ]
+        yield sim.all_of(gets)
+        result["latency"] = sim.now - epoch
+
+    sim.process(_scenario(), name="gather-scenario")
+    sim.run()
+    return result["latency"]
+
+
+# ---------------------------------------------------------------------------
+# Reduce (Figures 7, 8b, 14, 15)
+# ---------------------------------------------------------------------------
+
+
+def measure_reduce(
+    system: str,
+    num_nodes: int,
+    nbytes: int,
+    arrival_interval: float = 0.0,
+    arrival_delays: Optional[Sequence[float]] = None,
+    network: Optional[NetworkConfig] = None,
+    options: Optional[HopliteOptions] = None,
+) -> float:
+    """Latency of reducing one object per node into a single result at the caller.
+
+    In the synchronized case (no staggering) every ``Put`` completes before
+    the ``Reduce`` is issued, matching Figure 7.  With staggered arrivals the
+    ``Reduce`` is issued immediately and objects trickle in, matching
+    Figure 8b.  The caller's ``Get`` runs concurrently with the Reduce so the
+    result streams to the caller as it is produced (Section 3.3).
+    """
+    _check_system(system)
+    network = network or NetworkConfig()
+    if system == "optimal":
+        return nbytes / network.bandwidth
+    if num_nodes < 2:
+        raise ValueError("reduce needs at least two nodes")
+
+    cluster = _make_cluster(num_nodes, network)
+    sim = cluster.sim
+    delays = _resolve_delays(num_nodes, arrival_interval, arrival_delays)
+    synchronized = max(delays) <= 0.0
+
+    if system in STATIC_SYSTEMS:
+        if system != "openmpi":
+            raise UnsupportedScenarioError(f"{system!r} does not implement reduce")
+        op = MPICollectives(cluster).reduce(nbytes, root=0)
+        finishes: dict[int, float] = {}
+
+        def _rank(rank: int, delay: float) -> Generator:
+            if delay > 0:
+                yield sim.timeout(delay)
+            rank_result = yield from op.participate(rank)
+            finishes[rank] = rank_result.finish_time
+
+        for rank in range(num_nodes):
+            sim.process(_rank(rank, delays[rank]), name=f"reduce-rank-{rank}")
+        sim.run()
+        return finishes[0]
+
+    plane = _make_plane(system, cluster, options)
+    source_ids = [ObjectID.unique(f"reduce-src-{i}") for i in range(num_nodes)]
+    target_id = ObjectID.unique("reduce-target")
+    result: dict[str, float] = {}
+
+    def _producer(node_id: int, delay: float) -> Generator:
+        if delay > 0:
+            yield sim.timeout(delay)
+        yield from plane.put(
+            cluster.node(node_id), source_ids[node_id], ObjectValue.of_size(nbytes)
+        )
+
+    def _scenario() -> Generator:
+        producers = [
+            sim.process(
+                _producer(node_id, delays[node_id]),
+                name=f"reduce-put-{node_id}",
+            )
+            for node_id in range(num_nodes)
+        ]
+        if synchronized:
+            # Figure 7 methodology: all Puts complete before Reduce is called.
+            yield sim.all_of(producers)
+        epoch = sim.now
+        reduce_proc = sim.process(
+            plane.reduce(cluster.node(0), target_id, source_ids, ReduceOp.SUM),
+            name="reduce-call",
+        )
+        yield from plane.get(cluster.node(0), target_id)
+        yield reduce_proc
+        result["latency"] = sim.now - epoch
+
+    sim.process(_scenario(), name="reduce-scenario")
+    sim.run()
+    return result["latency"]
+
+
+# ---------------------------------------------------------------------------
+# AllReduce (Figures 7, 8c, 14)
+# ---------------------------------------------------------------------------
+
+
+def measure_allreduce(
+    system: str,
+    num_nodes: int,
+    nbytes: int,
+    arrival_interval: float = 0.0,
+    arrival_delays: Optional[Sequence[float]] = None,
+    network: Optional[NetworkConfig] = None,
+    options: Optional[HopliteOptions] = None,
+) -> float:
+    """Latency for every node to hold the reduction of one object per node.
+
+    Hoplite composes allreduce as reduce followed by broadcast; every
+    participant issues its ``Get`` on the reduce target immediately, so the
+    result streams out while it is still being produced (Section 3.4.3).
+    """
+    _check_system(system)
+    network = network or NetworkConfig()
+    if system == "optimal":
+        return 2.0 * nbytes / network.bandwidth * (num_nodes - 1) / num_nodes
+    if num_nodes < 2:
+        raise ValueError("allreduce needs at least two nodes")
+
+    cluster = _make_cluster(num_nodes, network)
+    sim = cluster.sim
+    delays = _resolve_delays(num_nodes, arrival_interval, arrival_delays)
+    synchronized = max(delays) <= 0.0
+
+    if system in STATIC_SYSTEMS:
+        if system == "openmpi":
+            op = MPICollectives(cluster).allreduce(nbytes)
+        else:
+            gloo = GlooCollectives(cluster)
+            if system in ("gloo", "gloo_ring_chunked"):
+                op = gloo.allreduce_ring_chunked(nbytes)
+            elif system == "gloo_ring":
+                op = gloo.allreduce_ring(nbytes)
+            else:
+                op = gloo.allreduce_halving_doubling(nbytes)
+        finishes: list[float] = []
+
+        def _rank(rank: int, delay: float) -> Generator:
+            if delay > 0:
+                yield sim.timeout(delay)
+            rank_result = yield from op.participate(rank)
+            finishes.append(rank_result.finish_time)
+
+        for rank in range(num_nodes):
+            sim.process(_rank(rank, delays[rank]), name=f"allreduce-rank-{rank}")
+        sim.run()
+        return max(finishes)
+
+    plane = _make_plane(system, cluster, options)
+    source_ids = [ObjectID.unique(f"allreduce-src-{i}") for i in range(num_nodes)]
+    target_id = ObjectID.unique("allreduce-target")
+    result: dict[str, float] = {}
+
+    def _producer(node_id: int, delay: float) -> Generator:
+        if delay > 0:
+            yield sim.timeout(delay)
+        yield from plane.put(
+            cluster.node(node_id), source_ids[node_id], ObjectValue.of_size(nbytes)
+        )
+
+    def _scenario() -> Generator:
+        producers = [
+            sim.process(
+                _producer(node_id, delays[node_id]),
+                name=f"allreduce-put-{node_id}",
+            )
+            for node_id in range(num_nodes)
+        ]
+        if synchronized:
+            yield sim.all_of(producers)
+        epoch = sim.now
+        reduce_proc = sim.process(
+            plane.reduce(cluster.node(0), target_id, source_ids, ReduceOp.SUM),
+            name="allreduce-call",
+        )
+        fetchers = [
+            sim.process(
+                plane.get(cluster.node(node_id), target_id),
+                name=f"allreduce-get-{node_id}",
+            )
+            for node_id in range(num_nodes)
+        ]
+        yield sim.all_of(fetchers)
+        yield reduce_proc
+        result["latency"] = sim.now - epoch
+
+    sim.process(_scenario(), name="allreduce-scenario")
+    sim.run()
+    return result["latency"]

@@ -1,0 +1,35 @@
+"""Baseline collective-communication implementations.
+
+The paper compares Hoplite against:
+
+* **OpenMPI** — static, rank-based collective schedules (binomial broadcast,
+  binary-tree reduce, recursive halving–doubling allreduce, flat gather);
+* **Gloo** — ring, ring-chunked and halving–doubling allreduce plus an
+  unoptimized broadcast;
+* **Ray / Dask** — task systems without collective support: every receiver
+  pulls the whole object from its creator, reduce is performed locally by the
+  caller after gathering all inputs, and transfers pay extra worker↔store
+  copies without pipelining.
+
+All baselines run on the same simulated cluster substrate as Hoplite, so the
+comparisons isolate the *algorithmic* differences the paper is about.
+"""
+
+from repro.collectives.base import CollectiveGroup, StaticCollectiveError
+from repro.collectives.gloo import GlooCollectives
+from repro.collectives.mpi import MPICollectives
+from repro.collectives.naive import DASK_PROFILE, RAY_PROFILE, TaskSystemPlane, TaskSystemProfile
+from repro.collectives.plane import CommPlane, HoplitePlane
+
+__all__ = [
+    "CollectiveGroup",
+    "CommPlane",
+    "DASK_PROFILE",
+    "GlooCollectives",
+    "HoplitePlane",
+    "MPICollectives",
+    "RAY_PROFILE",
+    "StaticCollectiveError",
+    "TaskSystemPlane",
+    "TaskSystemProfile",
+]

@@ -1,0 +1,174 @@
+"""Shared machinery for the static (MPI/Gloo-style) collective baselines.
+
+Static collectives are *rank based*: the communication schedule is a pure
+function of the participant count and the message size, fixed before the
+operation starts.  The classes here model the part that matters for the
+paper's comparison:
+
+* every rank must *arrive* (its process must be running and have called the
+  collective) before it can take part in any step that involves it;
+* for operations that are inherently synchronous in MPI/Gloo (reduce,
+  allreduce, gather), **no data moves until every rank has arrived** — this
+  is what Figure 8 measures;
+* for broadcast, a rank can receive as soon as its own ancestors in the
+  static tree have the data, which lets MPI make partial progress when ranks
+  happen to arrive in tree order (Section 7, "Asynchronous MPI").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional, Sequence
+
+from repro.net.cluster import Cluster
+from repro.net.config import NetworkConfig
+from repro.net.node import Node
+from repro.net.transport import transfer_block, transfer_bytes
+from repro.sim import Event, Simulator
+
+
+class StaticCollectiveError(RuntimeError):
+    """Misuse of a static collective (e.g. an unknown rank participating)."""
+
+
+@dataclass
+class RankResult:
+    """Per-rank outcome of a collective operation."""
+
+    rank: int
+    node_id: int
+    arrive_time: float
+    finish_time: float
+
+
+class CollectiveGroup:
+    """A fixed group of ranks mapped onto cluster nodes.
+
+    This is the moral equivalent of an MPI communicator: the mapping from
+    rank to node is fixed when the group is created and every collective
+    operation on the group uses it.
+    """
+
+    def __init__(self, cluster: Cluster, node_ids: Optional[Sequence[int]] = None):
+        self.cluster = cluster
+        self.config: NetworkConfig = cluster.config
+        self.sim: Simulator = cluster.sim
+        if node_ids is None:
+            node_ids = [node.node_id for node in cluster.nodes]
+        if not node_ids:
+            raise StaticCollectiveError("a collective group needs at least one rank")
+        self.node_ids = list(node_ids)
+        self.nodes: list[Node] = [cluster.nodes[node_id] for node_id in self.node_ids]
+
+    @property
+    def size(self) -> int:
+        return len(self.node_ids)
+
+    def node_of_rank(self, rank: int) -> Node:
+        if rank < 0 or rank >= self.size:
+            raise StaticCollectiveError(f"rank {rank} out of range (size {self.size})")
+        return self.nodes[rank]
+
+
+class _Barrier:
+    """All ranks must check in before the barrier opens."""
+
+    def __init__(self, sim: Simulator, size: int):
+        self.sim = sim
+        self.size = size
+        self.arrived = 0
+        self.open_event = Event(sim)
+
+    def check_in(self) -> Event:
+        self.arrived += 1
+        if self.arrived >= self.size and not self.open_event.triggered:
+            self.open_event.succeed(self.sim.now)
+        return self.open_event
+
+
+class StaticOperation:
+    """Base class for one instance of a static collective operation.
+
+    Subclasses implement :meth:`_participate`, the per-rank protocol.  The
+    public :meth:`participate` wraps it with arrival bookkeeping so that the
+    asynchrony experiments (Figure 8) can stagger rank arrivals.
+    """
+
+    #: whether the operation can start before every rank has arrived.
+    requires_full_group = True
+
+    def __init__(self, group: CollectiveGroup, nbytes: int):
+        if nbytes < 0:
+            raise StaticCollectiveError("message size must be non-negative")
+        self.group = group
+        self.sim = group.sim
+        self.config = group.config
+        self.nbytes = int(nbytes)
+        self._barrier = _Barrier(group.sim, group.size)
+        self._arrive_times: dict[int, float] = {}
+        #: set by each rank when it holds the (final) data for this op.
+        self._data_ready: dict[int, Event] = {
+            rank: Event(group.sim) for rank in range(group.size)
+        }
+        self._arrival_events: dict[int, Event] = {
+            rank: Event(group.sim) for rank in range(group.size)
+        }
+
+    # -- per-rank entry point -------------------------------------------------
+    def participate(self, rank: int) -> Generator:
+        """Run rank ``rank``'s share of the collective.  Returns a RankResult."""
+        node = self.group.node_of_rank(rank)
+        arrive_time = self.sim.now
+        self._arrive_times[rank] = arrive_time
+        if not self._arrival_events[rank].triggered:
+            self._arrival_events[rank].succeed(arrive_time)
+        barrier_event = self._barrier.check_in()
+        if self.requires_full_group:
+            yield barrier_event
+        yield from self._participate(rank, node)
+        return RankResult(
+            rank=rank,
+            node_id=node.node_id,
+            arrive_time=arrive_time,
+            finish_time=self.sim.now,
+        )
+
+    def _participate(self, rank: int, node: Node) -> Generator:  # pragma: no cover
+        raise NotImplementedError
+
+    # -- helpers for subclasses --------------------------------------------------
+    def wait_arrival(self, rank: int) -> Event:
+        return self._arrival_events[rank]
+
+    def mark_data_ready(self, rank: int) -> None:
+        event = self._data_ready[rank]
+        if not event.triggered:
+            event.succeed(self.sim.now)
+
+    def wait_data_ready(self, rank: int) -> Event:
+        return self._data_ready[rank]
+
+    def send_whole(self, src_rank: int, dst_rank: int) -> Generator:
+        yield from transfer_bytes(
+            self.config,
+            self.group.node_of_rank(src_rank),
+            self.group.node_of_rank(dst_rank),
+            self.nbytes,
+        )
+
+    def send_segmented(self, src_rank: int, dst_rank: int, ready_blocks=None) -> Generator:
+        """Send the payload block by block, optionally gated on per-block readiness.
+
+        ``ready_blocks`` is an optional callable ``block_index -> Event`` used
+        to pipeline through intermediate ranks.
+        """
+        src = self.group.node_of_rank(src_rank)
+        dst = self.group.node_of_rank(dst_rank)
+        total = self.config.num_blocks(self.nbytes)
+        for index in range(total):
+            if ready_blocks is not None:
+                yield ready_blocks(index)
+            yield from transfer_block(
+                self.config, src, dst, self.config.block_bytes(self.nbytes, index)
+            )
+        return self.sim.now

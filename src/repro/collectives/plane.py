@@ -1,0 +1,77 @@
+"""The communication-plane interface shared by Hoplite and the task-system baselines.
+
+The applications in :mod:`repro.apps` (async SGD, RL, model serving, sync
+training) are written against this small interface so that the exact same
+application logic can run over Hoplite or over the Ray/Dask-style naive
+plane — mirroring how the paper swaps the communication layer underneath
+unchanged Ray programs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional, Sequence
+
+from repro.net.node import Node
+from repro.store.objects import ObjectID, ObjectValue, ReduceOp
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.runtime import HopliteRuntime
+
+
+class CommPlane:
+    """Abstract object-transfer plane: put / get / reduce over ObjectIDs."""
+
+    name = "abstract"
+
+    def put(self, node: Node, object_id: ObjectID, value: ObjectValue) -> Generator:
+        raise NotImplementedError
+
+    def get(self, node: Node, object_id: ObjectID, read_only: bool = True) -> Generator:
+        raise NotImplementedError
+
+    def reduce(
+        self,
+        node: Node,
+        target_id: ObjectID,
+        source_ids: Sequence[ObjectID],
+        op: ReduceOp = ReduceOp.SUM,
+        num_objects: Optional[int] = None,
+    ) -> Generator:
+        raise NotImplementedError
+
+    def delete(self, node: Node, object_id: ObjectID) -> Generator:
+        raise NotImplementedError
+
+
+class HoplitePlane(CommPlane):
+    """The communication plane backed by Hoplite (the paper's system)."""
+
+    name = "hoplite"
+
+    def __init__(self, runtime: "HopliteRuntime"):
+        self.runtime = runtime
+
+    def put(self, node: Node, object_id: ObjectID, value: ObjectValue) -> Generator:
+        result = yield from self.runtime.client(node).put(object_id, value)
+        return result
+
+    def get(self, node: Node, object_id: ObjectID, read_only: bool = True) -> Generator:
+        value = yield from self.runtime.client(node).get(object_id, read_only=read_only)
+        return value
+
+    def reduce(
+        self,
+        node: Node,
+        target_id: ObjectID,
+        source_ids: Sequence[ObjectID],
+        op: ReduceOp = ReduceOp.SUM,
+        num_objects: Optional[int] = None,
+    ) -> Generator:
+        result = yield from self.runtime.client(node).reduce(
+            target_id, source_ids, op, num_objects=num_objects
+        )
+        return result
+
+    def delete(self, node: Node, object_id: ObjectID) -> Generator:
+        result = yield from self.runtime.client(node).delete(object_id)
+        return result

@@ -1,0 +1,180 @@
+"""The Hoplite client API (Table 1): Put, Get, Delete, Reduce (+ AllReduce).
+
+Every method is a generator meant to be driven by a simulation process::
+
+    client = runtime.client(node)
+    value = yield from client.get(object_id)
+
+The timing of each call (memory copies, directory RPCs, network transfers)
+is charged to the simulated clock; the return values carry real payloads when
+the objects were created with payloads, so functional correctness can be
+asserted in tests.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional, Sequence
+
+from repro.core.broadcast import fetch_object
+from repro.core.reduce import ReduceExecution, ReduceResult
+from repro.net.node import Node
+from repro.net.transport import local_copy, local_copy_block
+from repro.store.objects import ObjectID, ObjectValue, ReduceOp
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.runtime import HopliteRuntime
+
+
+class HopliteClient:
+    """The per-node entry point to Hoplite.
+
+    A client is bound to a node; conceptually it is the library linked into
+    every task worker running on that node.
+    """
+
+    def __init__(self, runtime: "HopliteRuntime", node: Node):
+        self.runtime = runtime
+        self.node = node
+        self.sim = runtime.sim
+        self.config = runtime.config
+
+    # ------------------------------------------------------------------ Put --
+    def put(self, object_id: ObjectID, value: ObjectValue) -> Generator:
+        """Create an object with the given id from the worker's buffer.
+
+        The copy into the local store is pipelined with any downstream
+        transfer: the location is published to the directory as soon as the
+        Put starts, so receivers can begin fetching blocks before the copy
+        finishes (Section 3.3).
+        """
+        runtime = self.runtime
+        store = runtime.store(self.node)
+        directory = runtime.directory
+        options = runtime.options
+
+        entry = store.create_or_get(object_id, value.size, pin=True)
+        entry.metadata.update(value.metadata)
+
+        if runtime.small_object(value.size):
+            # Small objects: pay one (tiny) copy, cache inline in the
+            # directory, and publish the local complete copy.
+            yield from local_copy(self.config, self.node, value.size)
+            entry.seal(value.payload)
+            yield from directory.put_inline(self.node, object_id, value)
+            yield from directory.publish_complete(self.node, object_id, value.size)
+            return object_id
+
+        if options.enable_pipelining:
+            # Publish the partial location first so receivers can stream.
+            yield from directory.publish_partial(
+                self.node, object_id, value.size, upstream=None
+            )
+            for block_index in range(entry.num_blocks):
+                nbytes = self.config.block_bytes(value.size, block_index)
+                yield from local_copy_block(self.config, self.node, nbytes)
+                entry.mark_block_ready(block_index)
+            entry.seal(value.payload)
+            yield from directory.publish_complete(self.node, object_id, value.size)
+        else:
+            yield from local_copy(self.config, self.node, value.size)
+            entry.seal(value.payload)
+            yield from directory.publish_complete(self.node, object_id, value.size)
+        return object_id
+
+    # ------------------------------------------------------------------ Get --
+    def get(self, object_id: ObjectID, read_only: bool = True) -> Generator:
+        """Fetch an object buffer by id, blocking until it is available.
+
+        ``read_only=True`` returns a pointer into the local store (no copy),
+        which is how the paper runs its evaluation; ``read_only=False`` pays
+        an extra store-to-worker copy.
+        """
+        runtime = self.runtime
+        store = runtime.store(self.node)
+        directory = runtime.directory
+        manager = runtime.manager(self.node)
+
+        entry = store.try_get_entry(object_id)
+        if entry is None or not entry.sealed:
+            # Small-object fast path: the value may live inline in the directory.
+            known_size = directory.known_size(object_id)
+            if runtime.options.enable_small_object_cache and (
+                known_size is None or runtime.small_object(known_size)
+            ):
+                yield from directory.wait_for_object(self.node, object_id)
+                size = directory.known_size(object_id) or 0
+                if runtime.small_object(size):
+                    inline = yield from directory.try_get_inline(self.node, object_id)
+                    if inline is not None:
+                        yield from local_copy(self.config, self.node, size)
+                        return inline if read_only else inline.copy()
+            # Full path: share a single in-flight fetch per node per object.
+            fetch = manager.inflight_fetches.get(object_id)
+            if fetch is None or not fetch.is_alive:
+                fetch = self.sim.process(
+                    fetch_object(runtime, self.node, object_id),
+                    name=f"fetch-{object_id}-n{self.node.node_id}",
+                )
+                manager.inflight_fetches[object_id] = fetch
+            yield fetch
+            if manager.inflight_fetches.get(object_id) is fetch:
+                manager.inflight_fetches.pop(object_id, None)
+            entry = store.get_entry(object_id)
+
+        if not read_only:
+            yield from local_copy(self.config, self.node, entry.size)
+            value = entry.to_value()
+            return value.copy()
+        return entry.to_value()
+
+    # --------------------------------------------------------------- Delete --
+    def delete(self, object_id: ObjectID) -> Generator:
+        """Delete all copies of an object (called by the framework)."""
+        runtime = self.runtime
+        yield from runtime.directory.delete_object(self.node, object_id)
+        for store in runtime.stores.values():
+            store.delete(object_id)
+        return None
+
+    # --------------------------------------------------------------- Reduce --
+    def reduce(
+        self,
+        target_id: ObjectID,
+        source_ids: Sequence[ObjectID],
+        op: ReduceOp = ReduceOp.SUM,
+        num_objects: Optional[int] = None,
+    ) -> Generator:
+        """Reduce ``num_objects`` of the given sources into ``target_id``.
+
+        Returns a :class:`~repro.core.reduce.ReduceResult`; the reduced object
+        itself is obtained with :meth:`get` on ``target_id`` (it lives at the
+        reduce tree's root until then).
+        """
+        execution = ReduceExecution(
+            self.runtime,
+            self.node,
+            target_id,
+            source_ids,
+            op,
+            num_objects=num_objects,
+        )
+        result: ReduceResult = yield from execution.run()
+        return result
+
+    # ------------------------------------------------------------- AllReduce --
+    def allreduce(
+        self,
+        target_id: ObjectID,
+        source_ids: Sequence[ObjectID],
+        op: ReduceOp = ReduceOp.SUM,
+        num_objects: Optional[int] = None,
+    ) -> Generator:
+        """Reduce then fetch the result locally (reduce ∘ broadcast).
+
+        Hoplite has no dedicated allreduce: each participant simply calls
+        ``Get`` on the reduce target (Section 3.4.3).  This helper performs
+        the caller's share; other participants call :meth:`get` themselves.
+        """
+        result = yield from self.reduce(target_id, source_ids, op, num_objects)
+        value = yield from self.get(target_id)
+        return result, value

@@ -1,0 +1,184 @@
+"""Receiver-driven broadcast: the data path behind ``Get`` (Section 3.4.1).
+
+There is no explicit broadcast primitive in Hoplite.  A broadcast simply
+happens when many receivers ``Get`` the same object: each receiver asks the
+directory for a source, the directory hands out each copy to at most one
+receiver at a time, and receivers that hold partial copies immediately
+become eligible sources themselves.  The effect is a broadcast tree that
+grows on the fly in receiver-arrival order.
+
+Failure handling follows Section 3.5.1: when a source dies mid-transfer the
+receiver keeps the blocks it already has, re-queries the directory excluding
+sources whose fetch chain depends on the receiver itself (cycle avoidance),
+and resumes from the first missing block.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.net.node import Node
+from repro.net.transport import TransferError, transfer_block, transfer_bytes
+from repro.store.object_store import StoredObject
+from repro.store.objects import ObjectID
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.runtime import HopliteRuntime
+
+
+def fetch_object(
+    runtime: "HopliteRuntime",
+    node: Node,
+    object_id: ObjectID,
+) -> Generator:
+    """Fetch ``object_id`` into ``node``'s local store.
+
+    Returns the local :class:`StoredObject` once it is complete.  This is the
+    receiver side of Hoplite's broadcast; it is driven from a simulation
+    process (usually :meth:`HopliteClient.get`).
+    """
+    store = runtime.store(node)
+    directory = runtime.directory
+
+    existing = store.try_get_entry(object_id)
+    if existing is not None:
+        # The object is already present locally, or is being produced locally
+        # right now (e.g. a local Put or reduce output still copying in).
+        # Waiting for it is always cheaper than fetching a remote copy.
+        if not existing.sealed:
+            yield existing.wait_sealed()
+        return existing
+
+    # Block until the object exists somewhere and its size is known.
+    yield from directory.wait_for_object(node, object_id)
+    size = directory.known_size(object_id)
+    if size is None:  # pragma: no cover - defensive; wait_for_object guarantees it
+        raise TransferError(f"object {object_id} has no known size")
+
+    entry = store.create_or_get(object_id, size)
+    if entry.sealed:
+        return entry
+
+    if runtime.options.enable_dynamic_broadcast:
+        yield from _fetch_dynamic(runtime, node, object_id, entry)
+    else:
+        yield from _fetch_from_origin(runtime, node, object_id, entry)
+    return entry
+
+
+def _fetch_dynamic(
+    runtime: "HopliteRuntime",
+    node: Node,
+    object_id: ObjectID,
+    entry: StoredObject,
+) -> Generator:
+    """The full receiver-driven protocol with partial sources and recovery."""
+    directory = runtime.directory
+    excluded: set[int] = set()
+    while not entry.sealed:
+        source = yield from directory.acquire_transfer_source(node, object_id, excluded)
+        source_node = runtime.node(source.node_id)
+        succeeded = False
+        try:
+            yield from _pull_blocks(runtime, source_node, node, object_id, entry)
+            succeeded = True
+        except TransferError:
+            # The source died (or lost the object).  Keep our partial blocks,
+            # exclude the dead source, and look for another one.
+            excluded.add(source.node_id)
+        if succeeded:
+            source_entry = runtime.store(source_node).try_get_entry(object_id)
+            payload = source_entry.payload if source_entry is not None else None
+            metadata = dict(source_entry.metadata) if source_entry is not None else {}
+            entry.metadata.update(metadata)
+            entry.seal(payload)
+        yield from directory.release_transfer_source(node, object_id, source, succeeded)
+
+
+def _fetch_from_origin(
+    runtime: "HopliteRuntime",
+    node: Node,
+    object_id: ObjectID,
+    entry: StoredObject,
+) -> Generator:
+    """Ablation path: always pull from a complete copy (no relay through receivers).
+
+    This reproduces the behaviour the paper attributes to existing task
+    systems: every receiver contends for the origin's uplink.
+    """
+    directory = runtime.directory
+    config = runtime.config
+    while not entry.sealed:
+        record = yield from directory.wait_for_object(node, object_id)
+        complete_sources = [
+            info
+            for info in record.locations.values()
+            if info.complete
+            and info.node_id != node.node_id
+            and runtime.node(info.node_id).alive
+        ]
+        if not complete_sources:
+            # No complete copy yet: wait for one to appear.
+            yield runtime.sim.timeout(config.rpc_latency)
+            continue
+        source_node = runtime.node(complete_sources[0].node_id)
+        try:
+            source_entry = runtime.store(source_node).get_entry(object_id)
+            yield source_entry.wait_sealed()
+            yield from transfer_bytes(config, source_node, node, entry.size)
+            entry.metadata.update(source_entry.metadata)
+            entry.seal(source_entry.payload)
+            yield from directory.publish_complete(node, object_id, entry.size)
+        except (TransferError, KeyError):
+            yield runtime.sim.timeout(config.failure_detection_delay)
+
+
+def _pull_blocks(
+    runtime: "HopliteRuntime",
+    source_node: Node,
+    dest_node: Node,
+    object_id: ObjectID,
+    entry: StoredObject,
+) -> Generator:
+    """Stream the missing blocks of ``entry`` from ``source_node``.
+
+    With pipelining enabled a block is pulled as soon as the source holds it,
+    even if the source copy is still incomplete.  Without pipelining the
+    source must be complete first.
+    """
+    config = runtime.config
+    sim = runtime.sim
+    source_store = runtime.store(source_node)
+    source_entry = source_store.try_get_entry(object_id)
+    if source_entry is None:
+        raise TransferError(
+            f"source node {source_node.node_id} no longer holds {object_id}",
+            node=source_node,
+        )
+
+    if not runtime.options.enable_pipelining:
+        yield _race_failure(runtime, source_entry.wait_sealed(), source_node)
+        _ensure_alive(source_node)
+
+    while entry.blocks_ready < entry.num_blocks:
+        block_index = entry.blocks_ready
+        yield _race_failure(
+            runtime, source_entry.wait_for_blocks(block_index + 1), source_node
+        )
+        _ensure_alive(source_node)
+        nbytes = config.block_bytes(entry.size, block_index)
+        yield from transfer_block(config, source_node, dest_node, nbytes)
+        entry.mark_block_ready(block_index)
+    # Touch the sim clock so zero-block objects still take a well-defined path.
+    if entry.num_blocks == 0:  # pragma: no cover - num_blocks is always >= 1
+        yield sim.timeout(0)
+
+
+def _race_failure(runtime: "HopliteRuntime", event, peer: Node):
+    """Wait for ``event`` but wake up early if ``peer`` fails."""
+    return runtime.sim.any_of([event, peer.failure_event()])
+
+
+def _ensure_alive(peer: Node) -> None:
+    if not peer.alive:
+        raise TransferError(f"node {peer.node_id} failed during transfer", node=peer)

@@ -1,0 +1,48 @@
+"""Tunable behaviour of the Hoplite runtime."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+
+@dataclass(frozen=True)
+class HopliteOptions:
+    """Feature switches for the Hoplite runtime.
+
+    The defaults correspond to the full system described in the paper.
+    Ablations (used by the benchmark suite and the tests) disable individual
+    mechanisms:
+
+    Attributes:
+        enable_pipelining: stream objects block by block across nodes and
+            between workers and their local store (Section 3.3).  When off,
+            every copy waits for its source to be complete first.
+        enable_small_object_cache: cache objects under the directory's
+            small-object threshold inline in the directory (Section 3.2).
+        enable_dynamic_broadcast: let earlier receivers act as senders for
+            later receivers (Section 3.4.1).  When off, every receiver pulls
+            from a complete copy only — i.e. the naive sender-bottlenecked
+            behaviour of existing task systems.
+        reduce_degree: force a fixed reduce-tree degree.  ``None`` selects
+            the degree at runtime from the latency/bandwidth model, choosing
+            among ``candidate_reduce_degrees`` (Section 3.4.2 / Appendix B).
+        candidate_reduce_degrees: degrees considered by the runtime selector;
+            ``0`` stands for ``n`` (a flat tree), matching the paper's
+            implementation note that `d ∈ {1, 2, n}` suffices.
+    """
+
+    enable_pipelining: bool = True
+    enable_small_object_cache: bool = True
+    enable_dynamic_broadcast: bool = True
+    reduce_degree: Optional[int] = None
+    candidate_reduce_degrees: Sequence[int] = (1, 2, 0)
+
+    def __post_init__(self) -> None:
+        if self.reduce_degree is not None and self.reduce_degree < 0:
+            raise ValueError("reduce_degree must be None, 0 (meaning n), or positive")
+        if not self.candidate_reduce_degrees:
+            raise ValueError("candidate_reduce_degrees must not be empty")
+        for degree in self.candidate_reduce_degrees:
+            if degree < 0:
+                raise ValueError("candidate degrees must be >= 0 (0 means n)")

@@ -1,0 +1,692 @@
+"""Dynamic tree reduce (Section 3.4.2) with failure repair (Section 3.5.2).
+
+A ``Reduce`` call names a target ObjectID, a list of candidate source
+ObjectIDs, a reduce operator, and optionally ``num_objects`` (reduce only the
+first ``num_objects`` sources that become ready).  Hoplite:
+
+1. picks a tree degree ``d`` from the analytical model
+   ``T(1) = n·L + S/B`` and ``T(d) = L·log_d(n) + d·S/B`` (the implementation
+   considers ``d ∈ {1, 2, n}``, like the paper's);
+2. lays the first ``n`` *ready* objects onto a ``d``-ary tree whose
+   generalized in-order traversal equals the arrival order, so early arrivals
+   sit deep in the tree and can start reducing immediately;
+3. streams partial results up the tree block by block (fine-grained
+   pipelining), so the total time approaches ``S/B`` plus a per-hop latency
+   term instead of a per-participant bandwidth term;
+4. on a participant failure, replaces the failed slot with the next ready
+   source object (possibly the reconstructed one), clears the partial results
+   of the failed slot's ancestors — at most ``log_d n`` of them — and resumes.
+
+The final reduced object is published under the target ObjectID at the tree
+root's node; callers obtain it with a normal ``Get``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Generator, Optional, Sequence
+
+from repro.net.node import Node
+from repro.net.transport import TransferError, local_copy_block, transfer_block
+from repro.sim import Event, Interrupt, Process
+from repro.store.object_store import StoredObject
+from repro.store.objects import ObjectID, ReduceOp
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.runtime import HopliteRuntime
+
+
+# ---------------------------------------------------------------------------
+# Degree selection model
+# ---------------------------------------------------------------------------
+
+
+def reduce_time_model(
+    num_objects: int,
+    degree: int,
+    object_size: float,
+    latency: float,
+    bandwidth: float,
+) -> float:
+    """Estimated completion time of a ``degree``-ary reduce tree (Equation 1).
+
+    ``degree == 0`` or ``degree >= num_objects`` means the flat tree where the
+    root receives every object directly.
+    """
+    if num_objects <= 1:
+        return latency
+    transfer = object_size / bandwidth
+    if degree <= 0 or degree >= num_objects:
+        return latency + (num_objects - 1) * transfer
+    if degree == 1:
+        return num_objects * latency + transfer
+    height = math.log(num_objects) / math.log(degree)
+    return latency * height + degree * transfer
+
+
+def choose_reduce_degree(
+    num_objects: int,
+    object_size: float,
+    latency: float,
+    bandwidth: float,
+    candidates: Sequence[int] = (1, 2, 0),
+) -> int:
+    """Pick the candidate degree minimizing :func:`reduce_time_model`.
+
+    Returns the *effective* degree: ``num_objects`` is substituted for the
+    flat-tree candidate ``0``.
+    """
+    if num_objects <= 1:
+        return 1
+    best_degree = None
+    best_time = float("inf")
+    for candidate in candidates:
+        effective = num_objects if candidate == 0 else candidate
+        estimate = reduce_time_model(num_objects, candidate, object_size, latency, bandwidth)
+        if estimate < best_time - 1e-15:
+            best_time = estimate
+            best_degree = effective
+    return best_degree if best_degree is not None else 2
+
+
+# ---------------------------------------------------------------------------
+# Tree shape: generalized in-order placement
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TreeSlot:
+    """A position in the reduce tree, identified by arrival rank."""
+
+    rank: int
+    parent: Optional[int] = None
+    children: list[int] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+def build_inorder_tree(num_slots: int, degree: int) -> list[TreeSlot]:
+    """Build a ``degree``-ary tree over ranks ``0..num_slots-1``.
+
+    The generalized in-order traversal (first child subtree, the node, then
+    the remaining child subtrees) of the returned tree is exactly
+    ``0, 1, ..., num_slots - 1`` — so assigning the *i*-th arriving object to
+    rank *i* reproduces the paper's placement rule.
+    """
+    if num_slots <= 0:
+        return []
+    if degree <= 0:
+        degree = num_slots
+    slots = [TreeSlot(rank=rank) for rank in range(num_slots)]
+
+    def split(count: int, parts: int) -> list[int]:
+        base, extra = divmod(count, parts)
+        return [base + (1 if index < extra else 0) for index in range(parts)]
+
+    def build(lo: int, hi: int, parent: Optional[int]) -> Optional[int]:
+        count = hi - lo
+        if count <= 0:
+            return None
+        if count == 1:
+            root = lo
+        elif degree == 1:
+            root = hi - 1
+            build(lo, hi - 1, root)
+        else:
+            sizes = split(count - 1, degree)
+            first = sizes[0]
+            root = lo + first
+            build(lo, lo + first, root)
+            offset = root + 1
+            for size in sizes[1:]:
+                if size > 0:
+                    build(offset, offset + size, root)
+                    offset += size
+        slots[root].parent = parent
+        if parent is not None:
+            slots[parent].children.append(root)
+        return root
+
+    build(0, num_slots, None)
+    return slots
+
+
+def inorder_traversal(slots: Sequence[TreeSlot]) -> list[int]:
+    """Generalized in-order traversal of the tree (used by tests)."""
+    if not slots:
+        return []
+    roots = [slot.rank for slot in slots if slot.parent is None]
+    order: list[int] = []
+
+    def visit(rank: int) -> None:
+        slot = slots[rank]
+        children = slot.children
+        if children:
+            visit(children[0])
+        order.append(rank)
+        for child in children[1:]:
+            visit(child)
+
+    for root in roots:
+        visit(root)
+    return order
+
+
+def tree_depth(slots: Sequence[TreeSlot]) -> int:
+    """Height of the tree in edges."""
+    if not slots:
+        return 0
+
+    def depth(rank: int) -> int:
+        children = slots[rank].children
+        if not children:
+            return 0
+        return 1 + max(depth(child) for child in children)
+
+    roots = [slot.rank for slot in slots if slot.parent is None]
+    return max(depth(root) for root in roots)
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ReduceResult:
+    """Outcome of a completed Reduce call."""
+
+    target_id: ObjectID
+    reduced_ids: list[ObjectID]
+    unreduced_ids: list[ObjectID]
+    degree: int
+    root_node_id: int
+    completion_time: float
+
+
+@dataclass
+class ReducePlan:
+    """The static description of a reduce: sources, operator, degree, shape."""
+
+    target_id: ObjectID
+    source_ids: list[ObjectID]
+    op: ReduceOp
+    num_objects: int
+    degree: int
+    slots: list[TreeSlot]
+
+
+class _SlotState:
+    """Runtime state of one tree slot during execution."""
+
+    def __init__(self, slot: TreeSlot):
+        self.slot = slot
+        self.object_id: Optional[ObjectID] = None
+        self.host: Optional[Node] = None
+        #: Bumped whenever the slot is (re)assigned or its subtree changes, so
+        #: stale partial data is never confused with fresh data.
+        self.generation = 0
+        self.assigned_events: list[Event] = []
+        self.process: Optional[Process] = None
+        self.stream_processes: list[Process] = []
+        self.output_entry: Optional[StoredObject] = None
+
+    @property
+    def rank(self) -> int:
+        return self.slot.rank
+
+    @property
+    def assigned(self) -> bool:
+        return self.object_id is not None and self.host is not None
+
+    def assignment_event(self, sim) -> Event:
+        event = Event(sim)
+        if self.assigned:
+            event.succeed(self)
+        else:
+            self.assigned_events.append(event)
+        return event
+
+    def notify_assigned(self) -> None:
+        waiters, self.assigned_events = self.assigned_events, []
+        for event in waiters:
+            if not event.triggered:
+                event.succeed(self)
+
+
+class ReduceExecution:
+    """Coordinator for one Reduce call.
+
+    Created by :meth:`HopliteClient.reduce`; the :meth:`run` generator is the
+    coordinator process.  The coordinator assigns arriving objects to tree
+    slots, spawns the per-slot streaming reduce processes, repairs the tree on
+    node failures, and finishes when the root's output (the target object) is
+    sealed and published.
+    """
+
+    def __init__(
+        self,
+        runtime: "HopliteRuntime",
+        caller: Node,
+        target_id: ObjectID,
+        source_ids: Sequence[ObjectID],
+        op: ReduceOp,
+        num_objects: Optional[int] = None,
+    ):
+        if not source_ids:
+            raise ValueError("Reduce requires at least one source object")
+        self.runtime = runtime
+        self.sim = runtime.sim
+        self.config = runtime.config
+        self.caller = caller
+        self.target_id = target_id
+        self.source_ids = list(source_ids)
+        self.op = op
+        self.num_objects = num_objects if num_objects is not None else len(self.source_ids)
+        if self.num_objects <= 0 or self.num_objects > len(self.source_ids):
+            raise ValueError(
+                f"num_objects must be in [1, {len(self.source_ids)}], got {num_objects}"
+            )
+        self.degree: Optional[int] = None
+        self.slots: list[_SlotState] = []
+        self.tree: list[TreeSlot] = []
+        #: object ids that have become ready and await a slot.
+        self._ready_queue: list[ObjectID] = []
+        self._ready_waiters: list[Event] = []
+        #: ids already placed in (or permanently excluded from) the tree.
+        self._assigned_ids: set[ObjectID] = set()
+        self._watched: set[ObjectID] = set()
+        self._finished = Event(self.sim)
+        self._failure_hooked = False
+        self.plan: Optional[ReducePlan] = None
+
+    # -- public entry point --------------------------------------------------
+    def run(self) -> Generator:
+        """Coordinator process body."""
+        for object_id in self.source_ids:
+            self._watch_source(object_id)
+
+        # Learn the object size from the first ready source, then fix the
+        # degree and the tree shape.
+        first_id = yield from self._next_ready_object()
+        size = self.runtime.directory.known_size(first_id) or 0
+        self.degree = self._select_degree(size)
+        self.tree = build_inorder_tree(self.num_objects, self.degree)
+        self.slots = [_SlotState(slot) for slot in self.tree]
+        self.plan = ReducePlan(
+            target_id=self.target_id,
+            source_ids=list(self.source_ids),
+            op=self.op,
+            num_objects=self.num_objects,
+            degree=self.degree,
+            slots=self.tree,
+        )
+        self._hook_failures()
+
+        self._assign(self._next_unassigned_slot(), first_id)
+        # Keep assigning ready objects to the remaining slots as they arrive.
+        while self._next_unassigned_slot() is not None:
+            object_id = yield from self._next_ready_object()
+            slot = self._next_unassigned_slot()
+            if slot is None:
+                self._ready_queue.insert(0, object_id)
+                break
+            self._assign(slot, object_id)
+
+        # Wait for the root's output to be sealed and published.
+        yield self._finished
+        root = self._root_slot()
+        reduced = sorted(
+            (state.object_id for state in self.slots if state.object_id is not None),
+            key=lambda oid: oid.key,
+        )
+        unreduced = [oid for oid in self.source_ids if oid not in set(reduced)]
+        return ReduceResult(
+            target_id=self.target_id,
+            reduced_ids=list(reduced),
+            unreduced_ids=unreduced,
+            degree=self.degree,
+            root_node_id=root.host.node_id if root.host is not None else -1,
+            completion_time=self.sim.now,
+        )
+
+    # -- degree / shape --------------------------------------------------------
+    def _select_degree(self, size: int) -> int:
+        options = self.runtime.options
+        if options.reduce_degree is not None:
+            degree = options.reduce_degree
+            return self.num_objects if degree == 0 else min(degree, max(1, self.num_objects))
+        return choose_reduce_degree(
+            self.num_objects,
+            size,
+            self.config.latency,
+            self.config.bandwidth,
+            options.candidate_reduce_degrees,
+        )
+
+    def _root_slot(self) -> _SlotState:
+        for state in self.slots:
+            if state.slot.parent is None:
+                return state
+        raise RuntimeError("reduce tree has no root")  # pragma: no cover
+
+    # -- readiness tracking -----------------------------------------------------
+    def _watch_source(self, object_id: ObjectID) -> None:
+        """Watch for ``object_id`` becoming available (possibly again, after a failure)."""
+        if object_id in self._watched:
+            return
+        self._watched.add(object_id)
+        self.sim.process(
+            self._watch_process(object_id), name=f"reduce-watch-{object_id}"
+        )
+
+    def _watch_process(self, object_id: ObjectID) -> Generator:
+        directory = self.runtime.directory
+        event = directory.creation_event(object_id)
+        yield event
+        self._watched.discard(object_id)
+        if object_id in self._assigned_ids:
+            return
+        self._ready_queue.append(object_id)
+        waiters, self._ready_waiters = self._ready_waiters, []
+        for waiter in waiters:
+            if not waiter.triggered:
+                waiter.succeed()
+
+    def _next_ready_object(self) -> Generator:
+        """Block until some unassigned source object is ready; return its id."""
+        while True:
+            while self._ready_queue:
+                object_id = self._ready_queue.pop(0)
+                if object_id in self._assigned_ids:
+                    continue
+                host = self._locate(object_id)
+                if host is None:
+                    # Object existed but its only copy is gone (e.g. the node
+                    # failed); watch for it to reappear.
+                    self._watch_source(object_id)
+                    continue
+                return object_id
+            waiter = Event(self.sim)
+            self._ready_waiters.append(waiter)
+            yield waiter
+
+    def _locate(self, object_id: ObjectID) -> Optional[Node]:
+        """The node currently holding ``object_id`` (prefer complete copies)."""
+        directory = self.runtime.directory
+        locations = directory.locations_of(object_id)
+        best: Optional[Node] = None
+        for info in sorted(locations.values(), key=lambda i: (not i.complete, i.node_id)):
+            node = self.runtime.node(info.node_id)
+            if node.alive:
+                best = node
+                break
+        return best
+
+    # -- assignment --------------------------------------------------------------
+    def _next_unassigned_slot(self) -> Optional[_SlotState]:
+        for state in self.slots:
+            if not state.assigned:
+                return state
+        return None
+
+    def _assign(self, state: _SlotState, object_id: ObjectID) -> None:
+        if state.assigned:
+            # Never overwrite a live assignment; keep the object available for
+            # another slot instead.
+            if object_id not in self._assigned_ids:
+                self._ready_queue.insert(0, object_id)
+            return
+        host = self._locate(object_id)
+        if host is None:
+            # Lost between readiness and assignment: put it back on watch.
+            self._watch_source(object_id)
+            return
+        state.object_id = object_id
+        state.host = host
+        state.generation += 1
+        self._assigned_ids.add(object_id)
+        size = self.runtime.directory.known_size(object_id) or 0
+        if not state.slot.is_leaf or state.slot.parent is None:
+            self._create_output_entry(state, size)
+        state.notify_assigned()
+        if not state.slot.is_leaf or state.slot.parent is None:
+            self._spawn_slot_process(state)
+
+    def _output_id(self, state: _SlotState) -> ObjectID:
+        if state.slot.parent is None:
+            return self.target_id
+        return self.target_id.derived(f"partial-r{state.rank}-g{state.generation}")
+
+    def _create_output_entry(self, state: _SlotState, size: int) -> None:
+        store = self.runtime.store(state.host)
+        output_id = self._output_id(state)
+        entry = store.try_get_entry(output_id)
+        if entry is None:
+            entry = store.create(output_id, size)
+        elif entry.sealed:
+            # A stale sealed copy of the target id (only possible for the
+            # root after a repair): drop and recreate.
+            store.delete(output_id)
+            entry = store.create(output_id, size)
+        state.output_entry = entry
+
+    # -- slot processes -------------------------------------------------------------
+    def _spawn_slot_process(self, state: _SlotState) -> None:
+        state.process = self.sim.process(
+            self._run_slot(state, state.generation),
+            name=f"reduce-slot-{self.target_id}-r{state.rank}",
+        )
+
+    def _run_slot(self, state: _SlotState, generation: int) -> Generator:
+        """Streaming reduce at one internal tree slot (or a single-node root)."""
+        try:
+            runtime = self.runtime
+            config = self.config
+            node = state.host
+            store = runtime.store(node)
+            output = state.output_entry
+            is_root = state.slot.parent is None
+
+            if is_root:
+                yield from runtime.directory.publish_partial(
+                    node, self.target_id, output.size, upstream=None
+                )
+
+            own_entry = store.try_get_entry(state.object_id)
+            if own_entry is None:
+                raise TransferError(
+                    f"source {state.object_id} missing on node {node.node_id}", node=node
+                )
+
+            # Start one streaming pull per child.
+            stagings: list[StoredObject] = []
+            child_states = [self.slots[rank] for rank in state.slot.children]
+            for child in child_states:
+                staging = store.create_or_get(
+                    self.target_id.derived(
+                        f"stage-r{state.rank}-c{child.rank}-g{generation}"
+                    ),
+                    output.size,
+                )
+                stagings.append(staging)
+                proc = self.sim.process(
+                    self._stream_child(state, child, staging),
+                    name=(
+                        f"reduce-stream-{self.target_id}-r{state.rank}-c{child.rank}"
+                    ),
+                )
+                state.stream_processes.append(proc)
+
+            inputs = [own_entry] + stagings
+            for block_index in range(output.num_blocks):
+                for entry in inputs:
+                    if entry.blocks_ready <= block_index:
+                        yield self._race_own_failure(
+                            entry.wait_for_blocks(block_index + 1), node
+                        )
+                        if not node.alive:
+                            return
+                nbytes = config.block_bytes(output.size, block_index)
+                compute_time = config.reduce_compute_time(nbytes) * max(1, len(inputs) - 1)
+                if compute_time > 0:
+                    yield self.sim.timeout(compute_time)
+                output.mark_block_ready(block_index)
+
+            payloads = [own_entry.payload]
+            for child, staging in zip(child_states, stagings):
+                payloads.append(staging.payload)
+            output.seal(self.op.combine_many(payloads))
+
+            if is_root:
+                yield from runtime.directory.publish_complete(
+                    node, self.target_id, output.size
+                )
+                if not self._finished.triggered:
+                    self._finished.succeed(output)
+        except Interrupt:
+            return
+        except TransferError:
+            # The coordinator's failure hook drives the repair; this process
+            # simply stops.
+            return
+
+    def _stream_child(
+        self, parent_state: _SlotState, child_state: _SlotState, staging: StoredObject
+    ) -> Generator:
+        """Pull the child's (partial) output into the parent's staging entry."""
+        try:
+            runtime = self.runtime
+            config = self.config
+            if not child_state.assigned:
+                yield child_state.assignment_event(self.sim)
+            child_node = child_state.host
+            child_store = runtime.store(child_node)
+            if child_state.slot.is_leaf:
+                child_output_id = child_state.object_id
+            else:
+                child_output_id = self._output_id(child_state)
+            child_entry = child_store.try_get_entry(child_output_id)
+            if child_entry is None:
+                raise TransferError(
+                    f"child output {child_output_id} missing on node {child_node.node_id}",
+                    node=child_node,
+                )
+            parent_node = parent_state.host
+            same_node = child_node.node_id == parent_node.node_id
+            while staging.blocks_ready < staging.num_blocks:
+                block_index = staging.blocks_ready
+                yield self._race_peer_failure(
+                    child_entry.wait_for_blocks(block_index + 1), child_node, parent_node
+                )
+                if not child_node.alive or not parent_node.alive:
+                    raise TransferError("peer failed during reduce stream", node=child_node)
+                nbytes = config.block_bytes(staging.size, block_index)
+                if same_node:
+                    yield from local_copy_block(config, parent_node, nbytes)
+                else:
+                    yield from transfer_block(config, child_node, parent_node, nbytes)
+                staging.mark_block_ready(block_index)
+            yield self._race_peer_failure(
+                child_entry.wait_sealed(), child_node, parent_node
+            )
+            if child_entry.sealed:
+                staging.seal(child_entry.payload)
+        except Interrupt:
+            return
+        except TransferError:
+            return
+
+    def _race_own_failure(self, event: Event, node: Node) -> Event:
+        return self.sim.any_of([event, node.failure_event()])
+
+    def _race_peer_failure(self, event: Event, peer: Node, own: Node) -> Event:
+        return self.sim.any_of([event, peer.failure_event(), own.failure_event()])
+
+    # -- failure repair -------------------------------------------------------------
+    def _hook_failures(self) -> None:
+        if self._failure_hooked:
+            return
+        self._failure_hooked = True
+        for node in self.runtime.cluster.nodes:
+            node.on_failure(self._on_node_failure)
+
+    def _on_node_failure(self, node: Node) -> None:
+        if self._finished.triggered:
+            return
+        affected = [
+            state
+            for state in self.slots
+            if state.host is not None and state.host.node_id == node.node_id
+        ]
+        if not affected:
+            return
+        self.sim.process(
+            self._repair(affected), name=f"reduce-repair-{self.target_id}-n{node.node_id}"
+        )
+
+    def _repair(self, failed_states: list[_SlotState]) -> Generator:
+        """Replace failed slots and restart their ancestors (Section 3.5.2)."""
+        # Give in-flight transfers one scheduling round to observe the failure.
+        yield self.sim.timeout(0)
+        to_restart: set[int] = set()
+        for state in failed_states:
+            if state.object_id is not None:
+                # The object may be reconstructed later; watch for it again.
+                self._assigned_ids.discard(state.object_id)
+                self._watch_source(state.object_id)
+            self._teardown_slot(state)
+            state.object_id = None
+            state.host = None
+            state.output_entry = None
+            # Every ancestor must clear its partial result.
+            parent_rank = state.slot.parent
+            while parent_rank is not None:
+                to_restart.add(parent_rank)
+                parent_rank = self.tree[parent_rank].parent
+
+        for rank in sorted(to_restart, key=lambda r: -self._depth_of(r)):
+            ancestor = self.slots[rank]
+            if ancestor.host is None or not ancestor.host.alive:
+                continue
+            self._teardown_slot(ancestor, keep_assignment=True)
+            ancestor.generation += 1
+            size = self.runtime.directory.known_size(ancestor.object_id) or 0
+            self._create_output_entry(ancestor, size)
+            ancestor.notify_assigned()
+            self._spawn_slot_process(ancestor)
+
+        # Reassign the failed slots to the next ready objects.  The main
+        # coordinator loop may be filling slots concurrently, so re-check the
+        # slot after every blocking wait and never overwrite an assignment.
+        for state in failed_states:
+            while not state.assigned:
+                object_id = yield from self._next_ready_object()
+                if state.assigned:
+                    self._ready_queue.insert(0, object_id)
+                    break
+                self._assign(state, object_id)
+
+    def _depth_of(self, rank: int) -> int:
+        depth = 0
+        parent = self.tree[rank].parent
+        while parent is not None:
+            depth += 1
+            parent = self.tree[parent].parent
+        return depth
+
+    def _teardown_slot(self, state: _SlotState, keep_assignment: bool = False) -> None:
+        if state.process is not None and state.process.is_alive:
+            state.process.interrupt("reduce repair")
+        state.process = None
+        for proc in state.stream_processes:
+            if proc.is_alive:
+                proc.interrupt("reduce repair")
+        state.stream_processes = []
+        if keep_assignment and state.output_entry is not None:
+            host = state.host
+            if host is not None and host.alive and not state.output_entry.sealed:
+                state.output_entry.reset_progress()

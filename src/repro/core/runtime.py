@@ -1,0 +1,92 @@
+"""The Hoplite runtime: per-node stores, the directory, and per-node clients."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.options import HopliteOptions
+from repro.directory.service import ObjectDirectory
+from repro.net.cluster import Cluster
+from repro.net.node import Node
+from repro.sim import Process
+from repro.store.object_store import LocalObjectStore
+from repro.store.objects import ObjectID
+
+
+class NodeObjectManager:
+    """Per-node bookkeeping that is not part of the store itself.
+
+    Most importantly it tracks *in-flight Get requests* so that, when several
+    workers on the same node ask for the same object, only one fetch crosses
+    the network (Section 3.4.1: "it first checks if the object is locally
+    available, or there is an on-going request for the object locally").
+    """
+
+    def __init__(self, node: Node):
+        self.node = node
+        #: object_id -> the Process currently fetching it into the local store.
+        self.inflight_fetches: dict[ObjectID, Process] = {}
+        node.on_failure(self._on_failure)
+
+    def _on_failure(self, node: Node) -> None:
+        self.inflight_fetches.clear()
+
+
+class HopliteRuntime:
+    """One Hoplite deployment on a simulated cluster.
+
+    The runtime wires up, for every node: a :class:`LocalObjectStore`, a
+    :class:`NodeObjectManager`, and a :class:`HopliteClient` (created lazily
+    through :meth:`client`).  A single :class:`ObjectDirectory` spans the
+    cluster.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        options: Optional[HopliteOptions] = None,
+        store_capacity_bytes: Optional[int] = None,
+    ):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.config = cluster.config
+        self.options = options or HopliteOptions()
+        self.directory = ObjectDirectory(cluster)
+        self.stores: dict[int, LocalObjectStore] = {
+            node.node_id: LocalObjectStore(node, self.config, store_capacity_bytes)
+            for node in cluster.nodes
+        }
+        self.managers: dict[int, NodeObjectManager] = {
+            node.node_id: NodeObjectManager(node) for node in cluster.nodes
+        }
+        self._clients: dict[int, "HopliteClient"] = {}
+
+    # -- accessors -------------------------------------------------------------
+    def store(self, node: Node | int) -> LocalObjectStore:
+        node_id = node.node_id if isinstance(node, Node) else node
+        return self.stores[node_id]
+
+    def manager(self, node: Node | int) -> NodeObjectManager:
+        node_id = node.node_id if isinstance(node, Node) else node
+        return self.managers[node_id]
+
+    def node(self, node_id: int) -> Node:
+        return self.cluster.nodes[node_id]
+
+    def client(self, node: Node | int) -> "HopliteClient":
+        """The Hoplite client bound to ``node`` (created on first use)."""
+        from repro.core.api import HopliteClient
+
+        node_id = node.node_id if isinstance(node, Node) else node
+        client = self._clients.get(node_id)
+        if client is None:
+            client = HopliteClient(self, self.cluster.nodes[node_id])
+            self._clients[node_id] = client
+        return client
+
+    # -- helpers used by the protocols ------------------------------------------
+    def small_object(self, size: int) -> bool:
+        return (
+            self.options.enable_small_object_cache
+            and size < self.config.small_object_threshold
+        )

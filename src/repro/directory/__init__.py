@@ -1,0 +1,21 @@
+"""The global object directory service (Section 3.2 of the paper).
+
+The directory maps each :class:`~repro.store.ObjectID` to its size and to
+the set of node locations that hold a partial or complete copy.  It is
+sharded across the cluster's nodes; every lookup and publish pays a
+control-plane RPC to the shard that owns the object.
+
+The directory is also where Hoplite's two distinguishing behaviours are
+coordinated:
+
+* **receiver-driven broadcast** — ``acquire_transfer_source`` removes the
+  chosen location while a transfer is in flight and records the receiver as
+  a new partial location, which is what bounds each copy to one downstream
+  receiver at a time and grows a broadcast tree on the fly;
+* **small-object fast path** — objects below the configured threshold are
+  cached inline in the directory itself, so a Get is a single RPC.
+"""
+
+from repro.directory.service import DirectoryRecord, LocationInfo, ObjectDirectory
+
+__all__ = ["DirectoryRecord", "LocationInfo", "ObjectDirectory"]

@@ -1,0 +1,340 @@
+"""Sharded object directory with partial/complete locations and inline cache."""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Generator, Iterable, Optional
+
+from repro.net.cluster import Cluster
+from repro.net.node import Node
+from repro.net.transport import NodeFailedError
+from repro.sim import Event
+from repro.store.objects import ObjectID, ObjectValue
+
+
+@dataclass
+class LocationInfo:
+    """One copy of an object, as the directory sees it."""
+
+    node_id: int
+    complete: bool
+    #: Node the copy is currently being fetched from (``None`` once complete
+    #: or if the copy was created locally by ``Put``).  Used to avoid cyclic
+    #: fetch dependencies after a failure (Section 3.5.1).
+    upstream: Optional[int] = None
+
+
+@dataclass
+class DirectoryRecord:
+    """Directory state for a single object."""
+
+    object_id: ObjectID
+    size: Optional[int] = None
+    locations: dict[int, LocationInfo] = field(default_factory=dict)
+    inline_value: Optional[ObjectValue] = None
+    #: Events waiting for *any* location (or inline value) to appear.
+    waiters: list[Event] = field(default_factory=list)
+    #: Events waiting for a location to be released back / become available.
+    availability_waiters: list[Event] = field(default_factory=list)
+    #: Sources currently checked out by a receiver (requester_id -> source).
+    #: Used to restore a source if the receiver dies before releasing it.
+    checked_out: dict[int, LocationInfo] = field(default_factory=dict)
+    deleted: bool = False
+
+
+class ObjectDirectory:
+    """The distributed object directory service.
+
+    The directory is logically one key-value table; physically it is sharded
+    over ``config.num_directory_shards`` shard servers placed round-robin on
+    the cluster's nodes.  All methods that simulate an RPC are generators and
+    must be driven from a simulation process (``yield from``).
+    """
+
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.config = cluster.config
+        num_shards = min(self.config.num_directory_shards, len(cluster.nodes))
+        #: node that hosts each shard (round-robin placement).
+        self.shard_nodes: list[Node] = [
+            cluster.nodes[shard % len(cluster.nodes)] for shard in range(num_shards)
+        ]
+        self.records: dict[ObjectID, DirectoryRecord] = {}
+        self.lookup_count = 0
+        self.publish_count = 0
+        for node in cluster.nodes:
+            node.on_failure(self._on_node_failure)
+
+    # -- plumbing -------------------------------------------------------------
+    def _shard_node(self, object_id: ObjectID) -> Node:
+        # CRC32 rather than hash() so shard placement is stable across runs
+        # (Python's string hash is randomized per process).
+        shard = zlib.crc32(object_id.key.encode("utf-8")) % len(self.shard_nodes)
+        return self.shard_nodes[shard]
+
+    def _rpc(self, requester: Node, object_id: ObjectID) -> Generator:
+        """One control RPC from the requester to the object's shard.
+
+        The directory itself is assumed to be replicated by the framework
+        (Section 6), so a shard stays reachable even while the node that
+        hosts it is down; only the requester's own liveness matters.
+        """
+        if not requester.alive:
+            raise NodeFailedError(f"node {requester.node_id} is down", node=requester)
+        shard_node = self._shard_node(object_id)
+        if requester.node_id == shard_node.node_id:
+            yield self.sim.timeout(self.config.rpc_latency / 4.0)
+        else:
+            yield self.sim.timeout(self.config.rpc_latency)
+        if not requester.alive:
+            raise NodeFailedError(f"node {requester.node_id} is down", node=requester)
+
+    def _record(self, object_id: ObjectID) -> DirectoryRecord:
+        record = self.records.get(object_id)
+        if record is None:
+            record = DirectoryRecord(object_id=object_id)
+            self.records[object_id] = record
+        return record
+
+    def _notify_waiters(self, record: DirectoryRecord) -> None:
+        if record.locations or record.inline_value is not None:
+            for event in record.waiters:
+                if not event.triggered:
+                    event.succeed(record)
+            record.waiters = []
+        for event in record.availability_waiters:
+            if not event.triggered:
+                event.succeed(record)
+        record.availability_waiters = []
+
+    # -- synchronous (zero-cost) inspection helpers, used by tests -------------
+    def peek_record(self, object_id: ObjectID) -> Optional[DirectoryRecord]:
+        return self.records.get(object_id)
+
+    def locations_of(self, object_id: ObjectID) -> dict[int, LocationInfo]:
+        record = self.records.get(object_id)
+        return dict(record.locations) if record else {}
+
+    def known_size(self, object_id: ObjectID) -> Optional[int]:
+        record = self.records.get(object_id)
+        if record is None:
+            return None
+        if record.size is not None:
+            return record.size
+        if record.inline_value is not None:
+            return record.inline_value.size
+        return None
+
+    def is_created(self, object_id: ObjectID) -> bool:
+        """True once the object has any location or an inline value."""
+        record = self.records.get(object_id)
+        if record is None:
+            return False
+        return bool(record.locations) or record.inline_value is not None
+
+    def creation_event(self, object_id: ObjectID) -> Event:
+        """An event that fires as soon as the object exists anywhere."""
+        record = self._record(object_id)
+        event = Event(self.sim)
+        if record.locations or record.inline_value is not None:
+            event.succeed(record)
+        else:
+            record.waiters.append(event)
+        return event
+
+    # -- publishing -------------------------------------------------------------
+    def publish_partial(
+        self,
+        requester: Node,
+        object_id: ObjectID,
+        size: int,
+        upstream: Optional[int] = None,
+    ) -> Generator:
+        """Announce that ``requester`` holds (or is building) a partial copy."""
+        yield from self._rpc(requester, object_id)
+        self.publish_count += 1
+        record = self._record(object_id)
+        record.size = size if record.size is None else record.size
+        existing = record.locations.get(requester.node_id)
+        if existing is not None and existing.complete:
+            return
+        record.locations[requester.node_id] = LocationInfo(
+            node_id=requester.node_id, complete=False, upstream=upstream
+        )
+        self._notify_waiters(record)
+
+    def publish_complete(self, requester: Node, object_id: ObjectID, size: int) -> Generator:
+        """Announce that ``requester`` now holds a complete copy."""
+        yield from self._rpc(requester, object_id)
+        self.publish_count += 1
+        record = self._record(object_id)
+        record.size = size if record.size is None else record.size
+        record.locations[requester.node_id] = LocationInfo(
+            node_id=requester.node_id, complete=True, upstream=None
+        )
+        self._notify_waiters(record)
+
+    def put_inline(self, requester: Node, object_id: ObjectID, value: ObjectValue) -> Generator:
+        """Cache a small object directly in the directory (fast path)."""
+        yield from self._rpc(requester, object_id)
+        self.publish_count += 1
+        record = self._record(object_id)
+        record.size = value.size
+        record.inline_value = value
+        self._notify_waiters(record)
+
+    def remove_location(self, requester: Node, object_id: ObjectID, node_id: int) -> Generator:
+        """Remove a location (e.g. an evicted copy)."""
+        yield from self._rpc(requester, object_id)
+        record = self.records.get(object_id)
+        if record is not None:
+            record.locations.pop(node_id, None)
+
+    def delete_object(self, requester: Node, object_id: ObjectID) -> Generator:
+        """Drop every trace of the object (the ``Delete`` API)."""
+        yield from self._rpc(requester, object_id)
+        record = self.records.get(object_id)
+        if record is not None:
+            record.locations.clear()
+            record.inline_value = None
+            record.deleted = True
+
+    # -- lookups ---------------------------------------------------------------
+    def try_get_inline(self, requester: Node, object_id: ObjectID) -> Generator:
+        """Fetch the inline-cached value, if any (one RPC)."""
+        yield from self._rpc(requester, object_id)
+        self.lookup_count += 1
+        record = self.records.get(object_id)
+        if record is None:
+            return None
+        return record.inline_value
+
+    def wait_for_object(self, requester: Node, object_id: ObjectID) -> Generator:
+        """Synchronous location query: block until the object exists somewhere."""
+        yield from self._rpc(requester, object_id)
+        self.lookup_count += 1
+        record = self._record(object_id)
+        while not record.locations and record.inline_value is None:
+            event = Event(self.sim)
+            record.waiters.append(event)
+            yield event
+        return record
+
+    # -- broadcast coordination ---------------------------------------------------
+    def _dependency_chain(self, record: DirectoryRecord, node_id: int) -> set[int]:
+        """Follow the ``upstream`` pointers from ``node_id``."""
+        chain: set[int] = set()
+        current: Optional[int] = node_id
+        while current is not None and current not in chain:
+            chain.add(current)
+            info = record.locations.get(current)
+            current = info.upstream if info is not None else None
+        return chain
+
+    def _eligible_sources(
+        self, record: DirectoryRecord, requester_id: int, exclude: Iterable[int]
+    ) -> list[LocationInfo]:
+        excluded = set(exclude)
+        sources = []
+        for info in record.locations.values():
+            if info.node_id == requester_id or info.node_id in excluded:
+                continue
+            node = self.cluster.nodes[info.node_id]
+            if not node.alive:
+                continue
+            # Cycle avoidance: never pick a source whose own fetch depends,
+            # transitively, on the requester (Section 3.5.1).
+            if requester_id in self._dependency_chain(record, info.node_id):
+                continue
+            sources.append(info)
+        # Prefer complete copies over partial ones.
+        sources.sort(key=lambda info: (not info.complete, info.node_id))
+        return sources
+
+    def acquire_transfer_source(
+        self,
+        requester: Node,
+        object_id: ObjectID,
+        exclude: Iterable[int] = (),
+    ) -> Generator:
+        """Pick a source to fetch the object from, per the broadcast protocol.
+
+        Blocks until a suitable source exists.  Atomically removes the chosen
+        source from the location table (so it serves one receiver at a time)
+        and registers the requester as a partial location whose upstream is
+        the chosen source.  Returns the chosen :class:`LocationInfo`.
+        """
+        yield from self._rpc(requester, object_id)
+        self.lookup_count += 1
+        record = self._record(object_id)
+        while True:
+            sources = self._eligible_sources(record, requester.node_id, exclude)
+            if sources:
+                chosen = sources[0]
+                del record.locations[chosen.node_id]
+                record.checked_out[requester.node_id] = chosen
+                existing = record.locations.get(requester.node_id)
+                if existing is None or not existing.complete:
+                    record.locations[requester.node_id] = LocationInfo(
+                        node_id=requester.node_id,
+                        complete=False,
+                        upstream=chosen.node_id,
+                    )
+                self._notify_waiters(record)
+                return chosen
+            event = Event(self.sim)
+            record.availability_waiters.append(event)
+            record.waiters.append(event)
+            yield event
+
+    def release_transfer_source(
+        self,
+        requester: Node,
+        object_id: ObjectID,
+        source: LocationInfo,
+        succeeded: bool,
+    ) -> Generator:
+        """Give the source back to the directory after a transfer attempt.
+
+        On success the requester is also promoted to a complete location.
+        A failed source (dead node) is not re-added.
+        """
+        yield from self._rpc(requester, object_id)
+        record = self._record(object_id)
+        record.checked_out.pop(requester.node_id, None)
+        source_node = self.cluster.nodes[source.node_id]
+        if source_node.alive:
+            existing = record.locations.get(source.node_id)
+            if existing is None or not existing.complete:
+                record.locations[source.node_id] = LocationInfo(
+                    node_id=source.node_id,
+                    complete=source.complete,
+                    upstream=source.upstream,
+                )
+        if succeeded:
+            record.locations[requester.node_id] = LocationInfo(
+                node_id=requester.node_id, complete=True, upstream=None
+            )
+        self._notify_waiters(record)
+
+    # -- failure handling -----------------------------------------------------------
+    def _on_node_failure(self, node: Node) -> None:
+        """Purge every location hosted by a failed node.
+
+        Shard state itself is assumed to be replicated by the framework
+        (Section 6, "Framework's fault tolerance"), so shard placement does
+        not change.
+        """
+        for record in self.records.values():
+            record.locations.pop(node.node_id, None)
+            # If the failed node had checked out a source for an in-flight
+            # fetch, put that source back so other receivers can still use it.
+            checked_out = record.checked_out.pop(node.node_id, None)
+            if checked_out is not None:
+                source_node = self.cluster.nodes[checked_out.node_id]
+                if source_node.alive and checked_out.node_id not in record.locations:
+                    record.locations[checked_out.node_id] = checked_out
+            if record.locations or record.inline_value is not None:
+                self._notify_waiters(record)

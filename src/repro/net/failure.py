@@ -1,0 +1,74 @@
+"""Failure-injection helpers layered over the cluster's failure primitives."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.net.cluster import Cluster
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One planned node failure (and optional recovery)."""
+
+    node_id: int
+    fail_at: float
+    recover_at: Optional[float] = None
+
+
+def schedule(cluster: Cluster, events: Sequence[FailureEvent]) -> None:
+    """Install a list of failure events on the cluster."""
+    for event in events:
+        cluster.schedule_failure(event.node_id, event.fail_at, event.recover_at)
+
+
+def poisson_failures(
+    node_ids: Sequence[int],
+    rate_per_second: float,
+    horizon: float,
+    downtime: float,
+    seed: int = 0,
+) -> list[FailureEvent]:
+    """Generate a random failure schedule (Poisson arrivals, fixed downtime).
+
+    Useful for stress tests that go beyond the paper's single-failure
+    experiment: every generated failure hits a random node and recovers
+    ``downtime`` seconds later.
+    """
+    if rate_per_second < 0:
+        raise ValueError("rate_per_second must be non-negative")
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    rng = np.random.RandomState(seed)
+    events: list[FailureEvent] = []
+    time = 0.0
+    if rate_per_second == 0:
+        return events
+    while True:
+        time += float(rng.exponential(1.0 / rate_per_second))
+        if time >= horizon:
+            break
+        node_id = int(rng.choice(list(node_ids)))
+        events.append(
+            FailureEvent(node_id=node_id, fail_at=time, recover_at=time + downtime)
+        )
+    return events
+
+
+def alternating_failures(
+    node_ids: Sequence[int],
+    period: float,
+    downtime: float,
+    count: int,
+    start: float = 0.0,
+) -> Iterator[FailureEvent]:
+    """A deterministic round-robin failure schedule (one node down at a time)."""
+    if period <= 0 or downtime < 0:
+        raise ValueError("period must be positive and downtime non-negative")
+    for index in range(count):
+        node_id = node_ids[index % len(node_ids)]
+        fail_at = start + index * period
+        yield FailureEvent(node_id=node_id, fail_at=fail_at, recover_at=fail_at + downtime)

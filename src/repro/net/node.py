@@ -1,0 +1,115 @@
+"""A simulated cluster node: NIC, memory-copy channel, and liveness."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.sim import Event, Resource, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.net.cluster import Cluster
+
+
+class Node:
+    """A physical node in the simulated cluster.
+
+    Each node has:
+
+    * an uplink and a downlink, each modelled as a serializing bandwidth pipe
+      (a capacity-1 :class:`~repro.sim.Resource`) — concurrent transfers in
+      the same direction interleave at block granularity, which approximates
+      fair sharing and reproduces sender/receiver bottlenecks;
+    * a memory-copy channel used for worker-to-store and store-to-worker
+      copies inside the node;
+    * a liveness flag plus an incarnation counter used by failure injection.
+    """
+
+    def __init__(self, sim: Simulator, node_id: int, cluster: Optional["Cluster"] = None):
+        self.sim = sim
+        self.node_id = node_id
+        self.cluster = cluster
+        self.uplink = Resource(sim, capacity=1)
+        self.downlink = Resource(sim, capacity=1)
+        self.memcpy_channel = Resource(sim, capacity=1)
+        self.alive = True
+        #: Incremented every time the node recovers from a failure.  Stale
+        #: transfers and stale store contents compare incarnations to detect
+        #: that they belong to a previous life of the node.
+        self.incarnation = 0
+        #: Callbacks invoked with this node when it fails.
+        self.failure_listeners: list[Callable[["Node"], None]] = []
+        #: Callbacks invoked with this node when it recovers.
+        self.recovery_listeners: list[Callable[["Node"], None]] = []
+        #: Arbitrary per-node services (object store, directory shard, ...).
+        self.services: dict[str, Any] = {}
+
+    def __repr__(self) -> str:
+        state = "up" if self.alive else "down"
+        return f"<Node {self.node_id} {state}>"
+
+    def __hash__(self) -> int:
+        return hash(("node", self.node_id))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Node) and other.node_id == self.node_id
+
+    # -- failure handling ---------------------------------------------------
+    def fail(self) -> None:
+        """Mark the node as failed and notify listeners.
+
+        Listeners are responsible for tearing down transfers, dropping store
+        contents, and killing tasks that ran on the node.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        for listener in list(self.failure_listeners):
+            listener(self)
+
+    def recover(self) -> None:
+        """Bring the node back with a fresh incarnation."""
+        if self.alive:
+            return
+        self.alive = True
+        self.incarnation += 1
+        for listener in list(self.recovery_listeners):
+            listener(self)
+
+    def on_failure(self, callback: Callable[["Node"], None]) -> None:
+        self.failure_listeners.append(callback)
+
+    def on_recovery(self, callback: Callable[["Node"], None]) -> None:
+        self.recovery_listeners.append(callback)
+
+    def failure_event(self) -> Event:
+        """An event that fires when (or if) this node fails.
+
+        Useful for racing a blocking wait against the peer's failure, for
+        example a broadcast receiver waiting for its sender to produce the
+        next block.
+        """
+        event = Event(self.sim)
+        if not self.alive:
+            event.succeed(self)
+            return event
+
+        def _notify(node: "Node") -> None:
+            if not event.triggered:
+                event.succeed(node)
+
+        self.on_failure(_notify)
+        return event
+
+    def recovery_event(self) -> Event:
+        """An event that fires when (or if) this node recovers."""
+        event = Event(self.sim)
+        if self.alive:
+            event.succeed(self)
+            return event
+
+        def _notify(node: "Node") -> None:
+            if not event.triggered:
+                event.succeed(node)
+
+        self.on_recovery(_notify)
+        return event

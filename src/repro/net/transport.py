@@ -1,0 +1,145 @@
+"""Block-granularity data movement between nodes and inside nodes.
+
+The transfer primitives are generator functions meant to be driven by the
+simulation kernel (``yield from transfer_bytes(...)`` inside a process).
+
+Model
+-----
+Moving ``nbytes`` from node A to node B:
+
+1. the bytes are split into blocks of at most ``block_size``;
+2. each block occupies A's uplink and B's downlink simultaneously for the
+   serialization time ``block / bandwidth`` (cut-through, bottleneck at the
+   NIC rate), then arrives after one extra propagation ``latency``.
+
+Because the uplink is acquired before the downlink and the resource graph is
+bipartite (uplinks on one side, downlinks on the other), concurrent transfers
+can never deadlock.  Concurrent transfers that share a NIC direction
+interleave block by block, which approximates TCP fair sharing and — more
+importantly for this paper — reproduces the sender-side bottleneck of naive
+broadcast and the receiver-side bottleneck of flat (d = n) reduce.
+
+Failures
+--------
+If either endpoint fails, in-flight and future blocks of the transfer raise
+:class:`TransferError` after the configured failure-detection delay, exactly
+like a broken TCP connection being noticed by its peer.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.net.config import NetworkConfig
+from repro.net.node import Node
+
+
+class TransferError(Exception):
+    """A data transfer failed (usually because a peer node died)."""
+
+    def __init__(self, message: str, node: Optional[Node] = None):
+        super().__init__(message)
+        self.node = node
+
+
+class NodeFailedError(TransferError):
+    """An operation was attempted on or against a failed node."""
+
+
+def _check_alive(*nodes: Node) -> None:
+    for node in nodes:
+        if not node.alive:
+            raise NodeFailedError(f"node {node.node_id} is down", node=node)
+
+
+def transfer_block(
+    config: NetworkConfig,
+    src: Node,
+    dst: Node,
+    nbytes: int,
+) -> Generator:
+    """Move a single block from ``src`` to ``dst``.
+
+    Returns (via StopIteration) the simulated time at which the block is
+    fully available at the destination.
+    """
+    sim = src.sim
+    _check_alive(src, dst)
+    up_req = src.uplink.request()
+    try:
+        yield up_req
+        _check_alive(src, dst)
+        down_req = dst.downlink.request()
+        try:
+            yield down_req
+            _check_alive(src, dst)
+            yield sim.timeout(config.transmission_time(nbytes))
+            _check_alive(src, dst)
+        finally:
+            dst.downlink.release(down_req)
+    finally:
+        src.uplink.release(up_req)
+    yield sim.timeout(config.latency)
+    _check_alive(dst)
+    return sim.now
+
+
+def transfer_bytes(
+    config: NetworkConfig,
+    src: Node,
+    dst: Node,
+    nbytes: int,
+) -> Generator:
+    """Move ``nbytes`` from ``src`` to ``dst`` as a sequence of blocks.
+
+    This is the non-pipelined building block: the caller observes completion
+    only once every block has arrived.  Pipelined consumers drive
+    :func:`transfer_block` themselves so they can observe per-block progress.
+    """
+    sim = src.sim
+    if nbytes <= 0:
+        yield sim.timeout(config.latency)
+        return sim.now
+    total_blocks = config.num_blocks(nbytes)
+    for index in range(total_blocks):
+        yield from transfer_block(config, src, dst, config.block_bytes(nbytes, index))
+    return sim.now
+
+
+def local_copy_block(config: NetworkConfig, node: Node, nbytes: int) -> Generator:
+    """Copy one block between a worker and the local object store."""
+    sim = node.sim
+    _check_alive(node)
+    req = node.memcpy_channel.request()
+    try:
+        yield req
+        _check_alive(node)
+        yield sim.timeout(config.memcpy_time(nbytes))
+        _check_alive(node)
+    finally:
+        node.memcpy_channel.release(req)
+    return sim.now
+
+
+def local_copy(config: NetworkConfig, node: Node, nbytes: int) -> Generator:
+    """Copy ``nbytes`` between a worker and the local store, block by block."""
+    sim = node.sim
+    if nbytes <= 0:
+        return sim.now
+    total_blocks = config.num_blocks(nbytes)
+    for index in range(total_blocks):
+        yield from local_copy_block(config, node, config.block_bytes(nbytes, index))
+    return sim.now
+
+
+def control_rpc(config: NetworkConfig, src: Node, dst: Node) -> Generator:
+    """A small control-plane round trip (directory query, notification)."""
+    sim = src.sim
+    _check_alive(src, dst)
+    if src.node_id == dst.node_id:
+        # Local shard access still pays a (smaller) IPC cost.
+        yield sim.timeout(config.rpc_latency / 4.0)
+    else:
+        yield sim.timeout(config.rpc_latency)
+    _check_alive(src, dst)
+    return sim.now

@@ -1,0 +1,395 @@
+"""Core event loop, events, and processes for the simulation kernel.
+
+The design follows the classic discrete-event pattern:
+
+* A :class:`Simulator` owns a priority queue of scheduled events keyed by
+  ``(time, priority, sequence)``.
+* An :class:`Event` is a one-shot signal.  It can *succeed* with a value or
+  *fail* with an exception.  Callbacks attached to the event run when the
+  simulator pops it off the queue.
+* A :class:`Process` wraps a generator.  Every value the generator yields
+  must be an :class:`Event`; the process is resumed (``send``/``throw``) when
+  that event fires.  A process is itself an event that fires when the
+  generator terminates, so processes can wait on one another.
+
+The module is intentionally small and has no external dependencies so that
+unit tests of the higher layers never depend on wall-clock time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` attribute carries an arbitrary payload describing why the
+    interrupt happened (for example, a node-failure record).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class ProcessFailure(Exception):
+    """Wraps an exception that escaped a process nobody was waiting on."""
+
+
+# Priorities used to order events that fire at the same timestamp.  Urgent
+# events (process resumptions) run before normal events so that chains of
+# zero-delay causality settle deterministically.
+URGENT = 0
+NORMAL = 1
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*.  Calling :meth:`succeed` or :meth:`fail`
+    *triggers* it, scheduling its callbacks to run at the current simulation
+    time.  Once triggered its value is immutable.
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._ok: Optional[bool] = None
+        #: Set once a failure has been delivered to at least one waiter (or
+        #: explicitly acknowledged).  Unhandled failures are surfaced when the
+        #: simulation ends so errors never pass silently.
+        self.defused = False
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been succeeded or failed."""
+        return self._ok is not None
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run (the event left the queue)."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful once triggered."""
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        if not self.triggered:
+            raise SimulationError("event value read before it was triggered")
+        if self._exception is not None:
+            return self._exception
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError("event has already been triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, priority=URGENT)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception."""
+        if self.triggered:
+            raise SimulationError("event has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._ok = False
+        self._exception = exception
+        self.sim._schedule(self, priority=URGENT)
+        return self
+
+    def trigger(self, other: "Event") -> None:
+        """Mirror the outcome of ``other`` onto this event."""
+        if other._ok:
+            self.succeed(other._value)
+        else:
+            self.fail(other._exception)  # type: ignore[arg-type]
+
+    # -- composition ------------------------------------------------------
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            # Already processed: run immediately at the current time.
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.sim, [self, other])
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.sim, [self, other])
+
+    def __repr__(self) -> str:
+        state = "pending"
+        if self.triggered:
+            state = "ok" if self._ok else "failed"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._schedule(self, priority=NORMAL, delay=delay)
+
+    def succeed(self, value: Any = None) -> "Event":  # pragma: no cover
+        raise SimulationError("a Timeout is triggered automatically")
+
+    def fail(self, exception: BaseException) -> "Event":  # pragma: no cover
+        raise SimulationError("a Timeout is triggered automatically")
+
+
+class _Condition(Event):
+    """Base class for AllOf / AnyOf composition events."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._matched: list[Event] = []
+        if not self.events:
+            self.succeed([])
+            return
+        for event in self.events:
+            if event.sim is not sim:
+                raise SimulationError("cannot mix events from different simulators")
+            event.add_callback(self._check)
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract hook
+        raise NotImplementedError
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event.ok:
+                event.defused = True
+            return
+        if not event.ok:
+            event.defused = True
+            self.fail(event._exception)  # type: ignore[arg-type]
+            return
+        self._matched.append(event)
+        if self._satisfied():
+            self.succeed([e.value for e in self._matched])
+
+
+class AllOf(_Condition):
+    """Fires when every component event has succeeded."""
+
+    def _satisfied(self) -> bool:
+        return len(self._matched) == len(self.events)
+
+
+class AnyOf(_Condition):
+    """Fires when the first component event succeeds."""
+
+    def _satisfied(self) -> bool:
+        return len(self._matched) >= 1
+
+
+class Process(Event):
+    """A generator-based coroutine running on the simulator.
+
+    The wrapped generator yields :class:`Event` objects.  When a yielded
+    event succeeds, the event's value is sent into the generator; when it
+    fails, the exception is thrown into the generator.  The process itself
+    is an event that succeeds with the generator's return value.
+    """
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        super().__init__(sim)
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(
+                f"Process requires a generator, got {type(generator).__name__}"
+            )
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        # Kick-start the process at the current simulation time.
+        bootstrap = Event(sim)
+        bootstrap.succeed()
+        bootstrap.add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw an :class:`Interrupt` into the process.
+
+        Interrupting a finished process is a no-op, which keeps failure
+        injection code simple (a node may already have died for another
+        reason).
+        """
+        if self.triggered:
+            return
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        interrupt_event = Event(self.sim)
+        interrupt_event._ok = False
+        interrupt_event._exception = Interrupt(cause)
+        interrupt_event.defused = True
+        self.sim._schedule(interrupt_event, priority=URGENT)
+        interrupt_event.add_callback(self._resume)
+
+    def _resume(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._target = None
+        try:
+            if event._ok:
+                next_event = self.generator.send(event._value)
+            else:
+                event.defused = True
+                next_event = self.generator.throw(event._exception)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate to waiters
+            self.fail(exc)
+            return
+        if not isinstance(next_event, Event):
+            error = SimulationError(
+                f"process {self.name!r} yielded a non-event: {next_event!r}"
+            )
+            try:
+                self.generator.throw(error)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+            except BaseException as exc:  # noqa: BLE001
+                self.fail(exc)
+            return
+        self._target = next_event
+        next_event.add_callback(self._resume)
+
+
+class Simulator:
+    """The discrete-event scheduler.
+
+    Typical use::
+
+        sim = Simulator()
+
+        def worker(sim):
+            yield sim.timeout(1.0)
+            return "done"
+
+        proc = sim.process(worker(sim))
+        sim.run()
+        assert proc.value == "done"
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._sequence = 0
+        #: Failed events whose exception was never consumed by a waiter.
+        self.unhandled_failures: list[Event] = []
+
+    # -- time -------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- event construction -------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+    def _schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, self._sequence, event)
+        )
+        self._sequence += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if the queue is empty."""
+        if not self._queue:
+            return float("inf")
+        return self._queue[0][0]
+
+    def step(self) -> None:
+        """Process a single event."""
+        if not self._queue:
+            raise SimulationError("step() called on an empty event queue")
+        when, _priority, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks or ():
+            callback(event)
+        if not event._ok and not event.defused:
+            self.unhandled_failures.append(event)
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until the queue drains), a number
+        (run until that simulated time), or an :class:`Event` (run until it
+        fires, returning its value or raising its exception).
+        """
+        stop_event: Optional[Event] = None
+        stop_time = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise SimulationError(
+                    f"run(until={stop_time}) is in the past (now={self._now})"
+                )
+
+        while self._queue:
+            if stop_event is not None and stop_event.processed:
+                break
+            if self.peek() > stop_time:
+                self._now = stop_time
+                break
+            self.step()
+
+        if stop_event is not None:
+            if not stop_event.triggered:
+                raise SimulationError(
+                    "simulation ran out of events before the awaited event fired"
+                )
+            if not stop_event.ok:
+                stop_event.defused = True
+                raise stop_event._exception  # type: ignore[misc]
+            return stop_event.value
+        if stop_time != float("inf") and self._now < stop_time:
+            self._now = stop_time
+        return None

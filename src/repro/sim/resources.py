@@ -1,0 +1,228 @@
+"""Shared resources for simulation processes.
+
+Three primitives cover everything the higher layers need:
+
+* :class:`Resource` — a counted resource (e.g. a worker pool slot, a NIC
+  transmit slot).  Requests queue FIFO and are granted as capacity frees up.
+* :class:`Container` — a continuous quantity (e.g. bytes of store memory)
+  with blocking ``get``/``put``.
+* :class:`Store` — a FIFO queue of Python objects with blocking ``get`` and
+  optional filtering, used for message channels between processes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Optional
+
+from repro.sim.core import Event, SimulationError, Simulator
+
+
+class _Request(Event):
+    """A pending claim on a resource; usable as a context manager."""
+
+    def __init__(self, resource: "Resource", amount: int = 1, priority: int = 0):
+        super().__init__(resource.sim)
+        self.resource = resource
+        self.amount = amount
+        self.priority = priority
+
+    def __enter__(self) -> "_Request":
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-granted request."""
+        self.resource._cancel(self)
+
+
+class Resource:
+    """A counted resource with FIFO granting."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        if capacity <= 0:
+            raise SimulationError("resource capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiting: deque[_Request] = deque()
+        self._granted: set[int] = set()
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiting)
+
+    def request(self, amount: int = 1) -> _Request:
+        if amount <= 0 or amount > self.capacity:
+            raise SimulationError(
+                f"cannot request {amount} units of a capacity-{self.capacity} resource"
+            )
+        req = _Request(self, amount)
+        self._waiting.append(req)
+        self._grant()
+        return req
+
+    def release(self, request: _Request) -> None:
+        if id(request) in self._granted:
+            self._granted.discard(id(request))
+            self.in_use -= request.amount
+            self._grant()
+        else:
+            self._cancel(request)
+
+    def _cancel(self, request: _Request) -> None:
+        try:
+            self._waiting.remove(request)
+        except ValueError:
+            pass
+
+    def _grant(self) -> None:
+        while self._waiting:
+            head = self._waiting[0]
+            if head.triggered:
+                self._waiting.popleft()
+                continue
+            if self.in_use + head.amount > self.capacity:
+                break
+            self._waiting.popleft()
+            self.in_use += head.amount
+            self._granted.add(id(head))
+            head.succeed(head)
+
+
+class PriorityResource(Resource):
+    """A resource whose queue is ordered by a numeric priority (low first)."""
+
+    def request(self, amount: int = 1, priority: int = 0) -> _Request:
+        if amount <= 0 or amount > self.capacity:
+            raise SimulationError(
+                f"cannot request {amount} units of a capacity-{self.capacity} resource"
+            )
+        req = _Request(self, amount, priority)
+        inserted = False
+        for index, waiting in enumerate(self._waiting):
+            if priority < waiting.priority:
+                self._waiting.insert(index, req)
+                inserted = True
+                break
+        if not inserted:
+            self._waiting.append(req)
+        self._grant()
+        return req
+
+
+class Container:
+    """A continuous quantity with blocking ``get``/``put``."""
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf"), init: float = 0.0):
+        if init < 0 or init > capacity:
+            raise SimulationError("initial level must be within [0, capacity]")
+        self.sim = sim
+        self.capacity = capacity
+        self.level = float(init)
+        self._getters: deque[tuple[Event, float]] = deque()
+        self._putters: deque[tuple[Event, float]] = deque()
+
+    def put(self, amount: float) -> Event:
+        if amount < 0:
+            raise SimulationError("cannot put a negative amount")
+        event = Event(self.sim)
+        self._putters.append((event, amount))
+        self._settle()
+        return event
+
+    def get(self, amount: float) -> Event:
+        if amount < 0:
+            raise SimulationError("cannot get a negative amount")
+        event = Event(self.sim)
+        self._getters.append((event, amount))
+        self._settle()
+        return event
+
+    def _settle(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._putters:
+                event, amount = self._putters[0]
+                if self.level + amount <= self.capacity:
+                    self._putters.popleft()
+                    self.level += amount
+                    event.succeed()
+                    progress = True
+            if self._getters:
+                event, amount = self._getters[0]
+                if self.level >= amount:
+                    self._getters.popleft()
+                    self.level -= amount
+                    event.succeed(amount)
+                    progress = True
+
+
+class Store:
+    """A FIFO store of items with blocking ``get``.
+
+    ``get`` optionally takes a filter predicate; the first matching item is
+    returned.  This is the message-channel primitive used throughout the
+    network and control-plane code.
+    """
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf")):
+        self.sim = sim
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self._getters: deque[tuple[Event, Optional[Callable[[Any], bool]]]] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        event = Event(self.sim)
+        self._putters.append((event, item))
+        self._settle()
+        return event
+
+    def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> Event:
+        event = Event(self.sim)
+        self._getters.append((event, predicate))
+        self._settle()
+        return event
+
+    def _settle(self) -> None:
+        # Admit queued puts while there is capacity.
+        while self._putters and len(self.items) < self.capacity:
+            event, item = self._putters.popleft()
+            self.items.append(item)
+            event.succeed()
+        # Satisfy getters, respecting their predicates, in FIFO order.
+        satisfied = True
+        while satisfied and self._getters and self.items:
+            satisfied = False
+            for g_index, (event, predicate) in enumerate(self._getters):
+                match_index = None
+                if predicate is None:
+                    match_index = 0
+                else:
+                    for i_index, item in enumerate(self.items):
+                        if predicate(item):
+                            match_index = i_index
+                            break
+                if match_index is not None:
+                    item = self.items[match_index]
+                    del self.items[match_index]
+                    del self._getters[g_index]
+                    event.succeed(item)
+                    satisfied = True
+                    break
+        # Freed capacity may admit more putters.
+        while self._putters and len(self.items) < self.capacity:
+            event, item = self._putters.popleft()
+            self.items.append(item)
+            event.succeed()

@@ -1,0 +1,27 @@
+"""Distributed object store substrate.
+
+Task-based systems move data between tasks through a distributed object
+store: one local store per node, immutable objects, and direct shared-memory
+access for workers on the same node (Section 2.1 of the paper).  This
+package provides the object model (:class:`ObjectID`, :class:`ObjectValue`,
+:class:`ReduceOp`) and the per-node :class:`LocalObjectStore` with the
+partial-progress tracking Hoplite's pipelining relies on.
+"""
+
+from repro.store.objects import ObjectID, ObjectValue, ReduceOp
+from repro.store.object_store import (
+    LocalObjectStore,
+    ObjectAlreadyExistsError,
+    ObjectNotFoundError,
+    StoredObject,
+)
+
+__all__ = [
+    "LocalObjectStore",
+    "ObjectAlreadyExistsError",
+    "ObjectID",
+    "ObjectNotFoundError",
+    "ObjectValue",
+    "ReduceOp",
+    "StoredObject",
+]

@@ -1,0 +1,257 @@
+"""Per-node local object store with partial-progress tracking and eviction.
+
+The store is the per-node half of the distributed object store described in
+Section 2.1 of the paper.  Hoplite's pipelining (Section 3.3) depends on the
+store exposing *partial* objects: an object whose first ``k`` blocks are
+present can already serve those blocks to a downstream receiver or to a local
+worker.  The store therefore tracks per-object block progress and lets
+processes wait for a given amount of progress.
+
+The garbage-collection behaviour follows Section 6: the copy created by
+``Put`` is *pinned* until the framework calls ``Delete``; any additional
+copies created during collective communication are unpinned and may be
+evicted LRU when the store runs out of room.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.config import NetworkConfig
+from repro.net.node import Node
+from repro.sim import Event, Simulator
+from repro.store.objects import ObjectID, ObjectValue, Payload
+
+
+class ObjectNotFoundError(KeyError):
+    """The requested object is not present in this local store."""
+
+
+class ObjectAlreadyExistsError(ValueError):
+    """An object with this ID already exists in this local store."""
+
+
+class StoredObject:
+    """Bookkeeping for one object copy inside a local store."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        object_id: ObjectID,
+        size: int,
+        num_blocks: int,
+        pinned: bool = False,
+    ):
+        self.sim = sim
+        self.object_id = object_id
+        self.size = size
+        self.num_blocks = max(1, num_blocks)
+        self.blocks_ready = 0
+        self.sealed = False
+        self.pinned = pinned
+        self.payload: Payload = None
+        self.metadata: dict = {}
+        self.created_at = sim.now
+        self.last_access = sim.now
+        self.ref_count = 0
+        self._progress_waiters: list[tuple[int, Event]] = []
+        self._sealed_event = Event(sim)
+
+    # -- progress -----------------------------------------------------------
+    @property
+    def complete(self) -> bool:
+        return self.sealed
+
+    @property
+    def progress_fraction(self) -> float:
+        if self.num_blocks == 0:
+            return 1.0
+        return self.blocks_ready / self.num_blocks
+
+    def mark_block_ready(self, block_index: int) -> None:
+        """Record that blocks up to ``block_index`` (inclusive) are present."""
+        if block_index >= self.num_blocks:
+            raise IndexError(
+                f"block {block_index} out of range for {self.num_blocks}-block object"
+            )
+        self.blocks_ready = max(self.blocks_ready, block_index + 1)
+        self._notify_progress()
+
+    def reset_progress(self) -> None:
+        """Discard partial contents (used when a reduce subtree must restart)."""
+        if self.sealed:
+            raise ValueError("cannot reset a sealed object")
+        self.blocks_ready = 0
+
+    def seal(self, payload: Payload = None) -> None:
+        """Mark the object complete (all blocks present)."""
+        if self.sealed:
+            return
+        self.blocks_ready = self.num_blocks
+        self.sealed = True
+        if payload is not None:
+            self.payload = payload
+        self._notify_progress()
+        if not self._sealed_event.triggered:
+            self._sealed_event.succeed(self)
+
+    def _notify_progress(self) -> None:
+        remaining = []
+        for threshold, event in self._progress_waiters:
+            if self.blocks_ready >= threshold and not event.triggered:
+                event.succeed(self.blocks_ready)
+            elif not event.triggered:
+                remaining.append((threshold, event))
+        self._progress_waiters = remaining
+
+    def wait_for_blocks(self, count: int) -> Event:
+        """An event that fires once at least ``count`` blocks are present."""
+        event = Event(self.sim)
+        if self.blocks_ready >= count:
+            event.succeed(self.blocks_ready)
+        else:
+            self._progress_waiters.append((count, event))
+        return event
+
+    def wait_sealed(self) -> Event:
+        """An event that fires once the object is complete."""
+        event = Event(self.sim)
+        if self.sealed:
+            event.succeed(self)
+        else:
+            self._sealed_event.add_callback(lambda ev: event.succeed(self))
+        return event
+
+    def to_value(self) -> ObjectValue:
+        return ObjectValue(size=self.size, payload=self.payload, metadata=dict(self.metadata))
+
+    def __repr__(self) -> str:
+        state = "complete" if self.sealed else f"{self.blocks_ready}/{self.num_blocks}"
+        return f"<StoredObject {self.object_id} {state}>"
+
+
+class LocalObjectStore:
+    """The object store that runs on one node."""
+
+    def __init__(
+        self,
+        node: Node,
+        config: NetworkConfig,
+        capacity_bytes: Optional[int] = None,
+    ):
+        self.node = node
+        self.sim = node.sim
+        self.config = config
+        self.capacity_bytes = capacity_bytes
+        self.objects: dict[ObjectID, StoredObject] = {}
+        self.bytes_stored = 0
+        self.evictions = 0
+        node.services["object_store"] = self
+        node.on_failure(self._on_node_failure)
+
+    # -- basic queries --------------------------------------------------------
+    def __contains__(self, object_id: ObjectID) -> bool:
+        return object_id in self.objects
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+    def contains_complete(self, object_id: ObjectID) -> bool:
+        entry = self.objects.get(object_id)
+        return entry is not None and entry.sealed
+
+    def get_entry(self, object_id: ObjectID) -> StoredObject:
+        entry = self.objects.get(object_id)
+        if entry is None:
+            raise ObjectNotFoundError(str(object_id))
+        entry.last_access = self.sim.now
+        return entry
+
+    def try_get_entry(self, object_id: ObjectID) -> Optional[StoredObject]:
+        entry = self.objects.get(object_id)
+        if entry is not None:
+            entry.last_access = self.sim.now
+        return entry
+
+    # -- creation / mutation ---------------------------------------------------
+    def create(
+        self,
+        object_id: ObjectID,
+        size: int,
+        pin: bool = False,
+    ) -> StoredObject:
+        """Allocate space for an (initially empty) object copy."""
+        if object_id in self.objects:
+            raise ObjectAlreadyExistsError(str(object_id))
+        num_blocks = self.config.num_blocks(size)
+        self._make_room(size)
+        entry = StoredObject(self.sim, object_id, size, num_blocks, pinned=pin)
+        self.objects[object_id] = entry
+        self.bytes_stored += size
+        return entry
+
+    def create_or_get(self, object_id: ObjectID, size: int, pin: bool = False) -> StoredObject:
+        entry = self.objects.get(object_id)
+        if entry is not None:
+            entry.pinned = entry.pinned or pin
+            return entry
+        return self.create(object_id, size, pin=pin)
+
+    def put_complete(
+        self,
+        object_id: ObjectID,
+        value: ObjectValue,
+        pin: bool = True,
+    ) -> StoredObject:
+        """Insert a complete object in one shot (no simulated copy time)."""
+        entry = self.create(object_id, value.size, pin=pin)
+        entry.metadata.update(value.metadata)
+        entry.seal(value.payload)
+        return entry
+
+    def delete(self, object_id: ObjectID) -> None:
+        entry = self.objects.pop(object_id, None)
+        if entry is not None:
+            self.bytes_stored -= entry.size
+
+    def pin(self, object_id: ObjectID) -> None:
+        self.get_entry(object_id).pinned = True
+
+    def unpin(self, object_id: ObjectID) -> None:
+        self.get_entry(object_id).pinned = False
+
+    # -- eviction ---------------------------------------------------------------
+    def _make_room(self, incoming_bytes: int) -> None:
+        if self.capacity_bytes is None:
+            return
+        if incoming_bytes > self.capacity_bytes:
+            raise MemoryError(
+                f"object of {incoming_bytes} bytes exceeds store capacity "
+                f"{self.capacity_bytes}"
+            )
+        while self.bytes_stored + incoming_bytes > self.capacity_bytes:
+            victim = self._pick_eviction_victim()
+            if victim is None:
+                raise MemoryError(
+                    "object store is full and nothing is evictable "
+                    f"({self.bytes_stored} bytes stored, "
+                    f"{incoming_bytes} incoming, capacity {self.capacity_bytes})"
+                )
+            self.delete(victim.object_id)
+            self.evictions += 1
+
+    def _pick_eviction_victim(self) -> Optional[StoredObject]:
+        candidates = [
+            entry
+            for entry in self.objects.values()
+            if not entry.pinned and entry.sealed and entry.ref_count == 0
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda entry: entry.last_access)
+
+    # -- failure handling ---------------------------------------------------------
+    def _on_node_failure(self, node: Node) -> None:
+        """A failed node loses its volatile store contents."""
+        self.objects.clear()
+        self.bytes_stored = 0

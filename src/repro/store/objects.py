@@ -1,0 +1,126 @@
+"""The object model shared by every layer: IDs, values, and reduce operators.
+
+Objects in the reproduction carry two things:
+
+* a *logical size* in bytes, which is what the simulator uses to compute
+  transfer and copy times (a 1 GB object does not need a real 1 GB buffer);
+* an optional *payload* (a NumPy array or raw bytes) used by functional
+  tests, the examples, and the reduce operator so that correctness — not
+  just timing — can be verified end to end.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+_id_counter = itertools.count()
+
+Payload = Union[np.ndarray, bytes, None]
+
+
+@dataclass(frozen=True, order=True)
+class ObjectID:
+    """A globally unique name for an immutable object.
+
+    The application (or the task framework) generates ObjectIDs and passes
+    them between tasks by value, exactly as in Table 1 of the paper.
+    """
+
+    key: str
+
+    @staticmethod
+    def of(key: str) -> "ObjectID":
+        return ObjectID(key)
+
+    @staticmethod
+    def unique(prefix: str = "obj") -> "ObjectID":
+        """Generate a fresh, deterministic ObjectID (monotonic counter)."""
+        return ObjectID(f"{prefix}-{next(_id_counter)}")
+
+    def derived(self, suffix: str) -> "ObjectID":
+        """An ID derived from this one (used for internal partial results)."""
+        return ObjectID(f"{self.key}/{suffix}")
+
+    def __str__(self) -> str:
+        return self.key
+
+
+class ReduceOp(Enum):
+    """Commutative, associative reduce operators supported by ``Reduce``."""
+
+    SUM = "sum"
+    MIN = "min"
+    MAX = "max"
+    PROD = "prod"
+
+    def combine(self, left: Payload, right: Payload) -> Payload:
+        """Combine two payloads.  ``None`` payloads are treated as identity."""
+        if left is None:
+            return right
+        if right is None:
+            return left
+        left_arr = np.asarray(left)
+        right_arr = np.asarray(right)
+        if self is ReduceOp.SUM:
+            return left_arr + right_arr
+        if self is ReduceOp.MIN:
+            return np.minimum(left_arr, right_arr)
+        if self is ReduceOp.MAX:
+            return np.maximum(left_arr, right_arr)
+        if self is ReduceOp.PROD:
+            return left_arr * right_arr
+        raise ValueError(f"unsupported reduce op: {self!r}")  # pragma: no cover
+
+    def combine_many(self, payloads: Sequence[Payload]) -> Payload:
+        result: Payload = None
+        for payload in payloads:
+            result = self.combine(result, payload)
+        return result
+
+
+@dataclass
+class ObjectValue:
+    """An immutable object value: a logical size plus an optional payload."""
+
+    size: int
+    payload: Payload = None
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError("object size must be non-negative")
+
+    @staticmethod
+    def from_array(array: np.ndarray, logical_size: Optional[int] = None) -> "ObjectValue":
+        """Wrap a NumPy array.  ``logical_size`` overrides the simulated size."""
+        array = np.asarray(array)
+        size = int(array.nbytes) if logical_size is None else int(logical_size)
+        return ObjectValue(size=size, payload=array)
+
+    @staticmethod
+    def from_bytes(data: bytes, logical_size: Optional[int] = None) -> "ObjectValue":
+        size = len(data) if logical_size is None else int(logical_size)
+        return ObjectValue(size=size, payload=data)
+
+    @staticmethod
+    def of_size(nbytes: int) -> "ObjectValue":
+        """A size-only object (no payload); used by the benchmarks."""
+        return ObjectValue(size=int(nbytes))
+
+    def as_array(self) -> np.ndarray:
+        if self.payload is None:
+            raise ValueError("this object has no payload")
+        if isinstance(self.payload, bytes):
+            return np.frombuffer(self.payload, dtype=np.uint8)
+        return np.asarray(self.payload)
+
+    def copy(self) -> "ObjectValue":
+        payload = self.payload
+        if isinstance(payload, np.ndarray):
+            payload = payload.copy()
+        return ObjectValue(size=self.size, payload=payload, metadata=dict(self.metadata))

@@ -1,0 +1,14 @@
+"""A miniature task-based distributed system (the paper's Ray substrate).
+
+Hoplite is a communication layer *for* task-based systems, so the
+reproduction needs one: dynamic tasks returning object futures, a scheduler
+that places tasks on workers, ``wait``/``get`` driver APIs, and transparent
+task reconstruction on node failure (Section 2.1).  Applications in
+:mod:`repro.apps` are written against this package and can run over either
+the Hoplite plane or the naive Ray/Dask-style plane.
+"""
+
+from repro.tasksys.refs import ObjectRef
+from repro.tasksys.system import TaskContext, TaskError, TaskSpec, TaskSystem
+
+__all__ = ["ObjectRef", "TaskContext", "TaskError", "TaskSpec", "TaskSystem"]

@@ -1,0 +1,25 @@
+"""Object futures (the task system's handles to eventual task outputs)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.store.objects import ObjectID
+
+
+@dataclass(frozen=True)
+class ObjectRef:
+    """A future naming the output of a task (or a driver-side ``put``).
+
+    The reference is just a name: passing it into another task creates a
+    dependency, and the task system fetches the value through the
+    communication plane before running the dependent task.
+    """
+
+    object_id: ObjectID
+    #: id of the task that produces this object; ``None`` for driver puts.
+    producer_task_id: Optional[int] = None
+
+    def __str__(self) -> str:
+        return f"ObjectRef({self.object_id})"

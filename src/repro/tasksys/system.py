@@ -1,0 +1,368 @@
+"""The task system: submission, scheduling, execution, wait/get, recovery.
+
+The model follows Section 2.1 of the paper:
+
+* the driver (running on node 0 by convention) submits tasks dynamically and
+  receives :class:`~repro.tasksys.refs.ObjectRef` futures immediately;
+* the scheduler places each task on a worker slot of an alive node
+  (round-robin, with an optional placement hint);
+* a worker fetches the task's ObjectRef arguments through the communication
+  plane, runs the task body (a generator that can consume simulated compute
+  time and use the plane directly), and ``Put``s the result;
+* when a node fails, tasks running on it fail and are resubmitted, and
+  finished objects whose only copy lived there are reconstructed by
+  re-executing their producer task (lineage), after a failure-detection
+  delay — well-behaving tasks never roll back.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Generator, Iterable, Optional, Sequence
+
+from repro.collectives.plane import CommPlane
+from repro.net.cluster import Cluster
+from repro.net.node import Node
+from repro.sim import Event, Interrupt, Process, Resource
+from repro.store.objects import ObjectID, ObjectValue
+from repro.tasksys.refs import ObjectRef
+
+
+class TaskError(RuntimeError):
+    """A task failed for a non-recoverable reason."""
+
+
+class TaskStatus(Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    FINISHED = "finished"
+    FAILED = "failed"
+
+
+@dataclass
+class TaskSpec:
+    """Everything needed to (re-)execute one task."""
+
+    task_id: int
+    func: Callable[..., Generator]
+    args: tuple
+    kwargs: dict
+    output_id: ObjectID
+    name: str = ""
+    node_hint: Optional[int] = None
+    max_restarts: int = 10
+
+    def describe(self) -> str:
+        return self.name or getattr(self.func, "__name__", f"task-{self.task_id}")
+
+
+@dataclass
+class TaskRecord:
+    """Mutable execution state of a task."""
+
+    spec: TaskSpec
+    status: TaskStatus = TaskStatus.PENDING
+    node_id: Optional[int] = None
+    attempts: int = 0
+    finished_event: Optional[Event] = None
+    process: Optional[Process] = None
+    result_size: int = 0
+    failure: Optional[BaseException] = None
+
+
+class TaskContext:
+    """Handed to every task body; the task's window onto the cluster."""
+
+    def __init__(self, system: "TaskSystem", node: Node, spec: TaskSpec):
+        self.system = system
+        self.node = node
+        self.spec = spec
+        self.sim = system.sim
+        self.plane = system.plane
+
+    def compute(self, seconds: float):
+        """Consume ``seconds`` of simulated compute time."""
+        return self.sim.timeout(max(0.0, seconds))
+
+    def get(self, ref: "ObjectRef | ObjectID", read_only: bool = True) -> Generator:
+        object_id = ref.object_id if isinstance(ref, ObjectRef) else ref
+        value = yield from self.system.fetch(self.node, object_id, read_only=read_only)
+        return value
+
+    def put(self, value: ObjectValue, object_id: Optional[ObjectID] = None) -> Generator:
+        object_id = object_id or ObjectID.unique(f"task{self.spec.task_id}-out")
+        yield from self.plane.put(self.node, object_id, value)
+        return ObjectRef(object_id=object_id, producer_task_id=self.spec.task_id)
+
+    def reduce(self, target_id, source_refs, op, num_objects=None) -> Generator:
+        source_ids = [
+            ref.object_id if isinstance(ref, ObjectRef) else ref for ref in source_refs
+        ]
+        result = yield from self.plane.reduce(
+            self.node, target_id, source_ids, op, num_objects=num_objects
+        )
+        return result
+
+
+class TaskSystem:
+    """The dynamic-task runtime (a deliberately small Ray)."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        plane: CommPlane,
+        workers_per_node: Optional[int] = None,
+        driver_node: int = 0,
+        failure_detection_delay: Optional[float] = None,
+    ):
+        self.cluster = cluster
+        self.plane = plane
+        self.sim = cluster.sim
+        self.config = cluster.config
+        self.driver_node = cluster.nodes[driver_node]
+        self.workers_per_node = workers_per_node or cluster.spec.workers_per_node
+        self.failure_detection_delay = (
+            failure_detection_delay
+            if failure_detection_delay is not None
+            else cluster.config.failure_detection_delay
+        )
+        self._task_counter = itertools.count()
+        self._rr_counter = itertools.count()
+        self.tasks: dict[int, TaskRecord] = {}
+        #: object id -> producing task id (lineage for reconstruction).
+        self.lineage: dict[ObjectID, int] = {}
+        self.worker_slots: dict[int, Resource] = {
+            node.node_id: Resource(self.sim, capacity=self.workers_per_node)
+            for node in cluster.nodes
+        }
+        self.metrics = TaskSystemMetrics()
+        for node in cluster.nodes:
+            node.on_failure(self._on_node_failure)
+
+    # -- submission ---------------------------------------------------------------
+    def submit(
+        self,
+        func: Callable[..., Generator],
+        args: Sequence[Any] = (),
+        kwargs: Optional[dict] = None,
+        node: Optional[int] = None,
+        name: str = "",
+        output_id: Optional[ObjectID] = None,
+        max_restarts: int = 10,
+    ) -> ObjectRef:
+        """Submit a task; returns the future of its output immediately.
+
+        ``func`` is a generator function ``func(ctx, *args, **kwargs)`` whose
+        return value is an :class:`ObjectValue` (or ``None``); the system
+        stores it under the returned ref's ObjectID.
+        """
+        task_id = next(self._task_counter)
+        output = output_id or ObjectID.unique(f"task-{task_id}")
+        spec = TaskSpec(
+            task_id=task_id,
+            func=func,
+            args=tuple(args),
+            kwargs=dict(kwargs or {}),
+            output_id=output,
+            name=name,
+            node_hint=node,
+            max_restarts=max_restarts,
+        )
+        record = TaskRecord(spec=spec, finished_event=Event(self.sim))
+        self.tasks[task_id] = record
+        self.lineage[output] = task_id
+        self.metrics.submitted += 1
+        self._launch(record)
+        return ObjectRef(object_id=output, producer_task_id=task_id)
+
+    # -- scheduling ------------------------------------------------------------------
+    def _pick_node(self, spec: TaskSpec) -> Node:
+        alive = [node for node in self.cluster.nodes if node.alive]
+        if not alive:
+            raise TaskError("no alive nodes to schedule on")
+        if spec.node_hint is not None:
+            hinted = self.cluster.nodes[spec.node_hint]
+            if hinted.alive:
+                return hinted
+        index = next(self._rr_counter) % len(alive)
+        return alive[index]
+
+    def _launch(self, record: TaskRecord) -> None:
+        node = self._pick_node(record.spec)
+        record.node_id = node.node_id
+        record.status = TaskStatus.PENDING
+        record.attempts += 1
+        record.process = self.sim.process(
+            self._execute(record, node), name=f"task-{record.spec.describe()}"
+        )
+
+    # -- execution --------------------------------------------------------------------
+    def _execute(self, record: TaskRecord, node: Node) -> Generator:
+        spec = record.spec
+        slot = self.worker_slots[node.node_id].request()
+        try:
+            yield slot
+            if not node.alive:
+                raise TaskError(f"node {node.node_id} died before task start")
+            record.status = TaskStatus.RUNNING
+            context = TaskContext(self, node, spec)
+            resolved_args = []
+            for arg in spec.args:
+                if isinstance(arg, ObjectRef):
+                    value = yield from self.fetch(node, arg.object_id)
+                    resolved_args.append(value)
+                else:
+                    resolved_args.append(arg)
+            body = spec.func(context, *resolved_args, **spec.kwargs)
+            result = None
+            if body is not None and hasattr(body, "send"):
+                result = yield from body
+            elif body is not None:
+                result = body
+            if result is None:
+                result = ObjectValue(size=0)
+            if not isinstance(result, ObjectValue):
+                raise TaskError(
+                    f"task {spec.describe()} returned {type(result).__name__}, "
+                    "expected ObjectValue or None"
+                )
+            if not node.alive:
+                raise TaskError(f"node {node.node_id} died during task")
+            yield from self.plane.put(node, spec.output_id, result)
+            record.result_size = result.size
+            record.status = TaskStatus.FINISHED
+            self.metrics.finished += 1
+            if not record.finished_event.triggered:
+                record.finished_event.succeed(spec.output_id)
+        except Interrupt:
+            self._handle_task_failure(record, TaskError("interrupted by node failure"))
+        except Exception as exc:  # noqa: BLE001 - any task failure goes to recovery
+            self._handle_task_failure(record, exc)
+        finally:
+            self.worker_slots[node.node_id].release(slot)
+
+    def _handle_task_failure(self, record: TaskRecord, exc: BaseException) -> None:
+        record.failure = exc
+        self.metrics.failures += 1
+        if record.attempts <= record.spec.max_restarts:
+            record.status = TaskStatus.PENDING
+            self.sim.process(
+                self._resubmit_after_delay(record),
+                name=f"resubmit-{record.spec.describe()}",
+            )
+        else:
+            record.status = TaskStatus.FAILED
+            if not record.finished_event.triggered:
+                record.finished_event.fail(
+                    TaskError(f"task {record.spec.describe()} failed permanently: {exc}")
+                )
+
+    def _resubmit_after_delay(self, record: TaskRecord) -> Generator:
+        yield self.sim.timeout(self.failure_detection_delay)
+        self.metrics.reconstructions += 1
+        self._launch(record)
+
+    # -- driver API --------------------------------------------------------------------
+    def fetch(self, node: Node, object_id: ObjectID, read_only: bool = True) -> Generator:
+        """Get an object through the plane, reconstructing it if it was lost."""
+        value = yield from self.plane.get(node, object_id, read_only=read_only)
+        return value
+
+    def get(self, ref: ObjectRef, read_only: bool = True) -> Generator:
+        """Driver-side get (runs on the driver node)."""
+        value = yield from self.fetch(self.driver_node, ref.object_id, read_only=read_only)
+        return value
+
+    def wait(
+        self,
+        refs: Iterable[ObjectRef],
+        num_returns: int = 1,
+    ) -> Generator:
+        """Block until ``num_returns`` of the given tasks have finished.
+
+        Returns ``(ready_refs, pending_refs)`` like ``ray.wait``.
+        """
+        refs = list(refs)
+        if num_returns <= 0 or num_returns > len(refs):
+            raise ValueError(
+                f"num_returns must be in [1, {len(refs)}], got {num_returns}"
+            )
+        pending = {ref: self._finished_event_for(ref) for ref in refs}
+        ready: list[ObjectRef] = []
+        while len(ready) < num_returns:
+            yield self.sim.any_of(list(pending.values()))
+            newly_ready = [ref for ref, event in pending.items() if event.triggered]
+            for ref in newly_ready:
+                ready.append(ref)
+                del pending[ref]
+        return ready[:num_returns] + ready[num_returns:], list(pending.keys())
+
+    def _finished_event_for(self, ref: ObjectRef) -> Event:
+        if ref.producer_task_id is None:
+            event = Event(self.sim)
+            event.succeed(ref.object_id)
+            return event
+        record = self.tasks[ref.producer_task_id]
+        if record.status is TaskStatus.FINISHED:
+            event = Event(self.sim)
+            event.succeed(ref.object_id)
+            return event
+        return record.finished_event
+
+    def put(self, value: ObjectValue, object_id: Optional[ObjectID] = None) -> Generator:
+        """Driver-side put."""
+        object_id = object_id or ObjectID.unique("driver-put")
+        yield from self.plane.put(self.driver_node, object_id, value)
+        return ObjectRef(object_id=object_id, producer_task_id=None)
+
+    # -- failure handling ---------------------------------------------------------------
+    def _on_node_failure(self, node: Node) -> None:
+        """Fail running tasks on the node and reconstruct lost finished objects."""
+        for record in self.tasks.values():
+            if record.node_id != node.node_id:
+                continue
+            if record.status is TaskStatus.RUNNING or record.status is TaskStatus.PENDING:
+                if record.process is not None and record.process.is_alive:
+                    record.process.interrupt(f"node {node.node_id} failed")
+            elif record.status is TaskStatus.FINISHED:
+                # The object's only guaranteed copy was on the failed node;
+                # if no other node holds it, re-execute the producer task.
+                if not self._object_available_elsewhere(record.spec.output_id, node):
+                    record.status = TaskStatus.PENDING
+                    record.finished_event = Event(self.sim)
+                    self.sim.process(
+                        self._resubmit_after_delay(record),
+                        name=f"reconstruct-{record.spec.describe()}",
+                    )
+
+    def _object_available_elsewhere(self, object_id: ObjectID, failed_node: Node) -> bool:
+        runtime = getattr(self.plane, "runtime", None)
+        if runtime is None:
+            return False
+        locations = runtime.directory.locations_of(object_id)
+        for node_id, info in locations.items():
+            if node_id == failed_node.node_id or not info.complete:
+                continue
+            if self.cluster.nodes[node_id].alive:
+                return True
+        return False
+
+
+@dataclass
+class TaskSystemMetrics:
+    """Counters describing a run of the task system."""
+
+    submitted: int = 0
+    finished: int = 0
+    failures: int = 0
+    reconstructions: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "finished": self.finished,
+            "failures": self.failures,
+            "reconstructions": self.reconstructions,
+        }

@@ -1,0 +1,17 @@
+"""Workload catalog: model profiles, arrival processes, failure schedules."""
+
+from repro.workloads.models import (
+    MODEL_CATALOG,
+    SERVING_ENSEMBLE,
+    SERVING_QUERY_BYTES,
+    ModelProfile,
+    model_profile,
+)
+
+__all__ = [
+    "MODEL_CATALOG",
+    "SERVING_ENSEMBLE",
+    "SERVING_QUERY_BYTES",
+    "ModelProfile",
+    "model_profile",
+]

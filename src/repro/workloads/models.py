@@ -1,0 +1,102 @@
+"""Model profiles used by the application-level experiments.
+
+The paper's application experiments are communication-bound: what matters for
+reproducing them is each model's parameter size (the object that is reduced
+and broadcast every round) and a plausible per-round compute time standing in
+for the GPU work (forward/backward or inference).  The compute times below
+are calibrated to the V100 class hardware the paper used; they are constants
+on both sides of every comparison, so the speedup shapes do not depend on
+their exact values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """Size and compute characteristics of one model."""
+
+    name: str
+    #: size of the parameter/gradient object moved over the network.
+    param_bytes: int
+    #: simulated compute time for one training round on one worker (seconds).
+    round_compute_time: float
+    #: simulated compute time for one inference batch (seconds).
+    inference_time: float = 0.05
+    #: training samples processed per worker per round.
+    samples_per_round: int = 64
+
+    def __post_init__(self) -> None:
+        if self.param_bytes <= 0:
+            raise ValueError("param_bytes must be positive")
+        if self.round_compute_time < 0 or self.inference_time < 0:
+            raise ValueError("compute times must be non-negative")
+
+
+MODEL_CATALOG: dict[str, ModelProfile] = {
+    # Figure 9 / Figure 13 training models (sizes from Section 5.2).
+    "alexnet": ModelProfile(
+        name="alexnet", param_bytes=233 * MB, round_compute_time=0.10, inference_time=0.020
+    ),
+    "vgg16": ModelProfile(
+        name="vgg16", param_bytes=528 * MB, round_compute_time=0.35, inference_time=0.060
+    ),
+    "resnet50": ModelProfile(
+        name="resnet50", param_bytes=97 * MB, round_compute_time=0.22, inference_time=0.045
+    ),
+    # Figure 10: a two-layer feed-forward policy network with 64 MB of parameters.
+    "rl_policy": ModelProfile(
+        name="rl_policy", param_bytes=64 * MB, round_compute_time=0.25, inference_time=0.010
+    ),
+    # Figure 11 / 12a ensemble members (approximate parameter sizes).
+    "resnet34": ModelProfile(
+        name="resnet34", param_bytes=87 * MB, round_compute_time=0.20, inference_time=0.040
+    ),
+    "efficientnet_b1": ModelProfile(
+        name="efficientnet_b1", param_bytes=31 * MB, round_compute_time=0.18, inference_time=0.050
+    ),
+    "efficientnet_b2": ModelProfile(
+        name="efficientnet_b2", param_bytes=36 * MB, round_compute_time=0.20, inference_time=0.055
+    ),
+    "mobilenet_v2": ModelProfile(
+        name="mobilenet_v2", param_bytes=14 * MB, round_compute_time=0.10, inference_time=0.025
+    ),
+    "shufflenet_v2_x0_5": ModelProfile(
+        name="shufflenet_v2_x0_5", param_bytes=5 * MB, round_compute_time=0.08, inference_time=0.020
+    ),
+    "shufflenet_v2_x1_0": ModelProfile(
+        name="shufflenet_v2_x1_0", param_bytes=9 * MB, round_compute_time=0.09, inference_time=0.022
+    ),
+    "squeezenet_v1_1": ModelProfile(
+        name="squeezenet_v1_1", param_bytes=5 * MB, round_compute_time=0.07, inference_time=0.018
+    ),
+}
+
+#: the eight-model ensemble served in Figures 11 and 12a.
+SERVING_ENSEMBLE: tuple[str, ...] = (
+    "alexnet",
+    "resnet34",
+    "efficientnet_b1",
+    "efficientnet_b2",
+    "mobilenet_v2",
+    "shufflenet_v2_x0_5",
+    "shufflenet_v2_x1_0",
+    "squeezenet_v1_1",
+)
+
+#: one serving query: a batch of 64 images of 256x256x3 float32 pixels (Section 5.4).
+SERVING_QUERY_BYTES: int = 64 * 256 * 256 * 3 * 4
+
+
+def model_profile(name: str) -> ModelProfile:
+    """Look up a model profile by name."""
+    try:
+        return MODEL_CATALOG[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(MODEL_CATALOG)}"
+        ) from exc

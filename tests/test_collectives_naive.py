@@ -1,0 +1,159 @@
+"""Tests for the Ray/Dask-style naive communication plane."""
+
+import numpy as np
+import pytest
+
+from repro.collectives import DASK_PROFILE, RAY_PROFILE, HoplitePlane, TaskSystemPlane, TaskSystemProfile
+from repro.core import HopliteRuntime, ObjectID, ObjectValue, ReduceOp
+from repro.net import Cluster, NetworkConfig
+
+MB = 1024 * 1024
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        TaskSystemProfile(name="bad", per_op_overhead=-1, bandwidth_efficiency=1.0)
+    with pytest.raises(ValueError):
+        TaskSystemProfile(name="bad", per_op_overhead=0, bandwidth_efficiency=0.0)
+    assert RAY_PROFILE.bandwidth_efficiency == 1.0
+    assert DASK_PROFILE.bandwidth_efficiency < 1.0
+    assert DASK_PROFILE.per_op_overhead > RAY_PROFILE.per_op_overhead
+
+
+def run(cluster, generator):
+    process = cluster.sim.process(generator)
+    cluster.run()
+    assert process.ok, process.value
+    return process.value
+
+
+def test_naive_put_get_roundtrip_with_payload():
+    cluster = Cluster(num_nodes=2)
+    plane = TaskSystemPlane(cluster, RAY_PROFILE)
+    payload = np.arange(8, dtype=np.float64)
+    object_id = ObjectID.of("x")
+
+    def scenario():
+        yield from plane.put(cluster.node(0), object_id, ObjectValue.from_array(payload, logical_size=8 * MB))
+        value = yield from plane.get(cluster.node(1), object_id)
+        return value
+
+    value = run(cluster, scenario())
+    assert np.allclose(value.as_array(), payload)
+
+
+def test_dask_is_slower_than_ray_for_large_transfers():
+    elapsed = {}
+    for profile in (RAY_PROFILE, DASK_PROFILE):
+        cluster = Cluster(num_nodes=2)
+        plane = TaskSystemPlane(cluster, profile)
+        object_id = ObjectID.of("x")
+
+        def scenario():
+            yield from plane.put(cluster.node(0), object_id, ObjectValue.of_size(256 * MB))
+            start = cluster.sim.now
+            yield from plane.get(cluster.node(1), object_id)
+            return cluster.sim.now - start
+
+        elapsed[profile.name] = run(cluster, scenario())
+    assert elapsed["dask"] > elapsed["ray"] * 1.5
+
+
+def test_naive_reduce_gathers_at_caller_and_is_correct():
+    cluster = Cluster(num_nodes=4)
+    plane = TaskSystemPlane(cluster, RAY_PROFILE)
+    source_ids = [ObjectID.of(f"s{i}") for i in range(4)]
+    target_id = ObjectID.of("t")
+
+    def scenario():
+        for node_id in range(4):
+            yield from plane.put(
+                cluster.node(node_id),
+                source_ids[node_id],
+                ObjectValue.from_array(np.full(2, float(node_id + 1)), logical_size=8 * MB),
+            )
+        result = yield from plane.reduce(cluster.node(0), target_id, source_ids, ReduceOp.SUM)
+        value = yield from plane.get(cluster.node(0), target_id)
+        return result, value
+
+    result, value = run(cluster, scenario())
+    assert np.allclose(value.as_array(), 1 + 2 + 3 + 4)
+    assert result.root_node_id == 0
+    assert len(result.reduced_ids) == 4
+
+
+def test_naive_reduce_subset_waits_for_first_available():
+    cluster = Cluster(num_nodes=4)
+    plane = TaskSystemPlane(cluster, RAY_PROFILE)
+    source_ids = [ObjectID.of(f"s{i}") for i in range(4)]
+    target_id = ObjectID.of("t")
+    outcome = {}
+
+    def producer(node_id, delay):
+        yield cluster.sim.timeout(delay)
+        yield from plane.put(
+            cluster.node(node_id),
+            source_ids[node_id],
+            ObjectValue.from_array(np.full(2, float(node_id + 1)), logical_size=4 * MB),
+        )
+
+    def reducer():
+        result = yield from plane.reduce(
+            cluster.node(0), target_id, source_ids, ReduceOp.SUM, num_objects=2
+        )
+        outcome["reduced"] = sorted(o.key for o in result.reduced_ids)
+        outcome["finish"] = cluster.sim.now
+
+    for node_id, delay in enumerate((0.0, 0.05, 5.0, 5.0)):
+        cluster.sim.process(producer(node_id, delay))
+    cluster.sim.process(reducer())
+    cluster.run()
+    assert outcome["reduced"] == ["s0", "s1"]
+    assert outcome["finish"] < 5.0
+
+
+def test_naive_broadcast_is_sender_bound_hoplite_is_not():
+    """Side-by-side: the same broadcast under the naive plane vs Hoplite."""
+    nbytes = 64 * MB
+    num_nodes = 8
+    results = {}
+    for label in ("ray", "hoplite"):
+        cluster = Cluster(num_nodes=num_nodes)
+        if label == "ray":
+            plane = TaskSystemPlane(cluster, RAY_PROFILE)
+        else:
+            plane = HoplitePlane(HopliteRuntime(cluster))
+        object_id = ObjectID.of("bcast")
+        sim = cluster.sim
+        finishes = []
+
+        def scenario():
+            yield from plane.put(cluster.node(0), object_id, ObjectValue.of_size(nbytes))
+            epoch = sim.now
+
+            def receiver(node_id):
+                yield from plane.get(cluster.node(node_id), object_id)
+                finishes.append(sim.now - epoch)
+
+            yield sim.all_of([sim.process(receiver(n)) for n in range(1, num_nodes)])
+
+        sim.process(scenario())
+        cluster.run()
+        results[label] = max(finishes)
+    config = NetworkConfig()
+    assert results["ray"] >= (num_nodes - 1) * config.transmission_time(nbytes) * 0.9
+    assert results["hoplite"] < results["ray"] / 2
+
+
+def test_naive_delete():
+    cluster = Cluster(num_nodes=2)
+    plane = TaskSystemPlane(cluster, RAY_PROFILE)
+    object_id = ObjectID.of("x")
+
+    def scenario():
+        yield from plane.put(cluster.node(0), object_id, ObjectValue.of_size(MB))
+        yield from plane.delete(cluster.node(0), object_id)
+        return True
+
+    assert run(cluster, scenario())
+    assert object_id not in plane.runtime.store(0)

@@ -1,0 +1,141 @@
+"""Tests for receiver-driven broadcast: relaying, bottleneck avoidance, failures."""
+
+import numpy as np
+import pytest
+
+from repro.core import HopliteOptions, HopliteRuntime, ObjectID, ObjectValue
+from repro.net import Cluster, NetworkConfig
+
+MB = 1024 * 1024
+
+
+def broadcast_latency(num_nodes, nbytes, options=None, fail_node=None, fail_at=None, delays=None):
+    """Put on node 0, Get on all others; return (per-receiver finish times, runtime)."""
+    cluster = Cluster(num_nodes=num_nodes, network=NetworkConfig())
+    runtime = HopliteRuntime(cluster, options=options)
+    sim = cluster.sim
+    object_id = ObjectID.of("bcast")
+    payload = np.arange(4, dtype=np.float64)
+    finishes = {}
+
+    def scenario():
+        yield from runtime.client(0).put(
+            object_id, ObjectValue.from_array(payload, logical_size=nbytes)
+        )
+        epoch = sim.now
+        receivers = []
+
+        def receiver(node_id, delay):
+            if delay:
+                yield sim.timeout(delay)
+            value = yield from runtime.client(node_id).get(object_id)
+            assert np.allclose(value.as_array(), payload)
+            finishes[node_id] = sim.now - epoch
+
+        for index, node_id in enumerate(range(1, num_nodes)):
+            delay = (delays or {}).get(node_id, 0.0)
+            receivers.append(sim.process(receiver(node_id, delay)))
+        yield sim.all_of(receivers)
+
+    sim.process(scenario())
+    if fail_node is not None:
+        cluster.schedule_failure(fail_node, at=fail_at)
+    cluster.run()
+    return finishes, runtime
+
+
+def test_broadcast_correctness_to_many_receivers():
+    finishes, _ = broadcast_latency(8, 32 * MB)
+    assert len(finishes) == 7
+
+
+def test_broadcast_avoids_sender_bottleneck():
+    """Dynamic broadcast must beat the flat every-receiver-pulls-from-sender plan."""
+    config = NetworkConfig()
+    num_nodes, nbytes = 8, 64 * MB
+    dynamic, _ = broadcast_latency(num_nodes, nbytes)
+    naive, _ = broadcast_latency(
+        num_nodes, nbytes, options=HopliteOptions(enable_dynamic_broadcast=False, enable_pipelining=False)
+    )
+    flat_lower_bound = (num_nodes - 1) * config.transmission_time(nbytes)
+    assert max(naive.values()) >= flat_lower_bound * 0.9
+    assert max(dynamic.values()) < flat_lower_bound * 0.7
+    assert max(dynamic.values()) < max(naive.values())
+
+
+def test_broadcast_scales_sublinearly_with_receivers():
+    small, _ = broadcast_latency(4, 64 * MB)
+    large, _ = broadcast_latency(16, 64 * MB)
+    # 5x more receivers must cost far less than 5x the latency.
+    assert max(large.values()) < 3 * max(small.values())
+
+
+def test_late_receiver_fetches_from_a_complete_peer():
+    """A receiver arriving after the broadcast finished still completes quickly."""
+    finishes, runtime = broadcast_latency(4, 32 * MB, delays={3: 1.0})
+    # The late receiver's latency (measured from epoch) is dominated by its delay
+    # plus a single object transfer time.
+    config = runtime.config
+    assert finishes[3] < 1.0 + 2 * config.transmission_time(32 * MB)
+    locations = runtime.directory.locations_of(ObjectID.of("bcast"))
+    assert locations[3].complete
+
+
+def test_broadcast_survives_receiver_failure():
+    """Killing an intermediate receiver mid-broadcast leaves the others intact."""
+    finishes, runtime = broadcast_latency(
+        5, 128 * MB, delays={2: 0.02, 3: 0.04, 4: 0.06}, fail_node=1, fail_at=0.08
+    )
+    # Node 1 died; every other receiver finished with correct data.
+    assert set(finishes) == {2, 3, 4}
+    for node_id in (2, 3, 4):
+        assert runtime.store(node_id).contains_complete(ObjectID.of("bcast"))
+
+
+def test_broadcast_survives_origin_failure_after_first_copy():
+    """Once one receiver holds a complete copy, even the origin can die."""
+    cluster = Cluster(num_nodes=4, network=NetworkConfig())
+    runtime = HopliteRuntime(cluster)
+    sim = cluster.sim
+    object_id = ObjectID.of("x")
+    finishes = {}
+
+    def scenario():
+        yield from runtime.client(0).put(object_id, ObjectValue.of_size(64 * MB))
+        # First receiver completes while the origin is alive.
+        yield from runtime.client(1).get(object_id)
+        # The origin dies; later receivers must fetch from node 1.
+        cluster.node(0).fail()
+
+        def receiver(node_id):
+            yield from runtime.client(node_id).get(object_id)
+            finishes[node_id] = sim.now
+
+        yield sim.all_of([sim.process(receiver(2)), sim.process(receiver(3))])
+
+    sim.process(scenario())
+    cluster.run()
+    assert set(finishes) == {2, 3}
+    assert runtime.store(2).contains_complete(object_id)
+    assert runtime.store(3).contains_complete(object_id)
+
+
+def test_failed_receiver_can_rejoin_broadcast():
+    """A receiver that dies and recovers simply calls Get again and completes."""
+    cluster = Cluster(num_nodes=3, network=NetworkConfig())
+    runtime = HopliteRuntime(cluster)
+    sim = cluster.sim
+    object_id = ObjectID.of("x")
+    outcome = {}
+
+    def scenario():
+        yield from runtime.client(0).put(object_id, ObjectValue.of_size(64 * MB))
+        cluster.node(2).fail()
+        yield sim.timeout(0.1)
+        cluster.node(2).recover()
+        value = yield from runtime.client(2).get(object_id)
+        outcome["size"] = value.size
+
+    sim.process(scenario())
+    cluster.run()
+    assert outcome["size"] == 64 * MB

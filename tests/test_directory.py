@@ -1,0 +1,273 @@
+"""Tests for the sharded object directory service."""
+
+import pytest
+
+from repro.directory import ObjectDirectory
+from repro.net import Cluster, NetworkConfig
+from repro.store import ObjectID, ObjectValue
+
+MB = 1024 * 1024
+
+
+@pytest.fixture()
+def setup():
+    cluster = Cluster(num_nodes=4, network=NetworkConfig())
+    directory = ObjectDirectory(cluster)
+    return cluster, directory
+
+
+def drive(cluster, generator):
+    process = cluster.sim.process(generator)
+    cluster.run()
+    assert process.ok, process.value
+    return process.value
+
+
+def test_publish_partial_then_complete(setup):
+    cluster, directory = setup
+    object_id = ObjectID.of("x")
+    node = cluster.node(1)
+
+    def scenario():
+        yield from directory.publish_partial(node, object_id, 8 * MB)
+        locations = directory.locations_of(object_id)
+        assert locations[1].complete is False
+        yield from directory.publish_complete(node, object_id, 8 * MB)
+        locations = directory.locations_of(object_id)
+        assert locations[1].complete is True
+        return directory.known_size(object_id)
+
+    assert drive(cluster, scenario()) == 8 * MB
+
+
+def test_publish_partial_never_downgrades_complete(setup):
+    cluster, directory = setup
+    object_id = ObjectID.of("x")
+    node = cluster.node(0)
+
+    def scenario():
+        yield from directory.publish_complete(node, object_id, MB)
+        yield from directory.publish_partial(node, object_id, MB)
+        return directory.locations_of(object_id)[0].complete
+
+    assert drive(cluster, scenario()) is True
+
+
+def test_lookup_costs_one_rpc(setup):
+    cluster, directory = setup
+    object_id = ObjectID.of("timed")
+    node = cluster.node(1)
+    reader = cluster.node(2)
+
+    def scenario():
+        yield from directory.publish_complete(node, object_id, MB)
+        start = cluster.sim.now
+        yield from directory.wait_for_object(reader, object_id)
+        return cluster.sim.now - start
+
+    elapsed = drive(cluster, scenario())
+    assert 0 < elapsed <= 2 * cluster.config.rpc_latency
+
+
+def test_wait_for_object_blocks_until_created(setup):
+    cluster, directory = setup
+    object_id = ObjectID.of("later")
+    times = {}
+
+    def reader():
+        yield from directory.wait_for_object(cluster.node(2), object_id)
+        times["seen"] = cluster.sim.now
+
+    def writer():
+        yield cluster.sim.timeout(3.0)
+        yield from directory.publish_complete(cluster.node(1), object_id, MB)
+
+    cluster.sim.process(reader())
+    cluster.sim.process(writer())
+    cluster.run()
+    assert times["seen"] >= 3.0
+
+
+def test_creation_event_and_is_created(setup):
+    cluster, directory = setup
+    object_id = ObjectID.of("c")
+    assert not directory.is_created(object_id)
+    event = directory.creation_event(object_id)
+    assert not event.triggered
+
+    def writer():
+        yield from directory.publish_partial(cluster.node(0), object_id, MB)
+
+    drive(cluster, writer())
+    assert directory.is_created(object_id)
+    assert event.triggered
+    assert directory.creation_event(object_id).triggered
+
+
+def test_inline_cache_roundtrip(setup):
+    cluster, directory = setup
+    object_id = ObjectID.of("small")
+    value = ObjectValue.from_bytes(b"tiny-object")
+
+    def scenario():
+        missing = yield from directory.try_get_inline(cluster.node(2), object_id)
+        assert missing is None
+        yield from directory.put_inline(cluster.node(0), object_id, value)
+        cached = yield from directory.try_get_inline(cluster.node(2), object_id)
+        return cached
+
+    cached = drive(cluster, scenario())
+    assert cached is value
+    assert directory.known_size(object_id) == value.size
+
+
+def test_acquire_prefers_complete_and_bounds_fanout(setup):
+    """A complete copy is preferred, and an acquired copy leaves the table."""
+    cluster, directory = setup
+    object_id = ObjectID.of("x")
+
+    def scenario():
+        yield from directory.publish_complete(cluster.node(0), object_id, MB)
+        yield from directory.publish_partial(cluster.node(1), object_id, MB)
+        first = yield from directory.acquire_transfer_source(cluster.node(2), object_id)
+        assert first.node_id == 0 and first.complete
+        # Node 0 is now checked out; the next receiver must use the partial copy.
+        second = yield from directory.acquire_transfer_source(cluster.node(3), object_id)
+        assert second.node_id == 1 and not second.complete
+        # Release node 0; requester 2 becomes a complete location.
+        yield from directory.release_transfer_source(cluster.node(2), object_id, first, True)
+        locations = directory.locations_of(object_id)
+        assert locations[0].complete and locations[2].complete
+        return True
+
+    assert drive(cluster, scenario())
+
+
+def test_acquire_serves_in_flight_partial_copy(setup):
+    """A later receiver is handed the partial copy of an in-flight receiver (Figure 4b)."""
+    cluster, directory = setup
+    object_id = ObjectID.of("x")
+    times = {}
+
+    def scenario():
+        yield from directory.publish_complete(cluster.node(0), object_id, MB)
+        yield from directory.acquire_transfer_source(cluster.node(1), object_id)
+
+        def late_receiver():
+            source = yield from directory.acquire_transfer_source(cluster.node(2), object_id)
+            times["acquired"] = (cluster.sim.now, source.node_id, source.complete)
+
+        cluster.sim.process(late_receiver())
+        yield cluster.sim.timeout(1.0)
+
+    drive(cluster, scenario())
+    _, source_node, complete = times["acquired"]
+    assert source_node == 1
+    assert complete is False
+
+
+def test_acquire_blocks_until_source_released(setup):
+    """With every other copy excluded, a receiver waits for the checkout to return."""
+    cluster, directory = setup
+    object_id = ObjectID.of("x")
+    times = {}
+
+    def scenario():
+        yield from directory.publish_complete(cluster.node(0), object_id, MB)
+        first = yield from directory.acquire_transfer_source(cluster.node(1), object_id)
+
+        def late_receiver():
+            # Exclude node 1 (e.g. it previously failed a transfer to us), so
+            # the only possible source is node 0, which is checked out.
+            source = yield from directory.acquire_transfer_source(
+                cluster.node(2), object_id, exclude=(1,)
+            )
+            times["acquired"] = (cluster.sim.now, source.node_id)
+
+        cluster.sim.process(late_receiver())
+        yield cluster.sim.timeout(5.0)
+        yield from directory.release_transfer_source(cluster.node(1), object_id, first, True)
+
+    drive(cluster, scenario())
+    when, source_node = times["acquired"]
+    assert when >= 5.0
+    assert source_node == 0
+
+
+def test_cycle_avoidance_excludes_dependent_sources(setup):
+    """A receiver never fetches from a node whose copy depends on the receiver itself."""
+    cluster, directory = setup
+    object_id = ObjectID.of("x")
+
+    def scenario():
+        yield from directory.publish_complete(cluster.node(0), object_id, MB)
+        # Node 1 fetches from node 0 (node 0 checked out, node 1 partial w/ upstream 0).
+        first = yield from directory.acquire_transfer_source(cluster.node(1), object_id)
+        assert first.node_id == 0
+        # Node 2 fetches; only node 1 (partial) is available -> upstream chain 2 -> 1 -> 0.
+        second = yield from directory.acquire_transfer_source(cluster.node(2), object_id)
+        assert second.node_id == 1
+        # If node 1's fetch now has to fail over, it must NOT pick node 2,
+        # whose data transitively depends on node 1.
+        sources = directory._eligible_sources(
+            directory.peek_record(object_id), requester_id=1, exclude=()
+        )
+        assert all(info.node_id != 2 for info in sources)
+        return True
+
+    assert drive(cluster, scenario())
+
+
+def test_failed_node_locations_are_purged_and_checkout_restored(setup):
+    cluster, directory = setup
+    object_id = ObjectID.of("x")
+
+    def scenario():
+        yield from directory.publish_complete(cluster.node(0), object_id, MB)
+        yield from directory.publish_complete(cluster.node(1), object_id, MB)
+        # Node 2 checks out node 0 and then dies before releasing it.
+        yield from directory.acquire_transfer_source(cluster.node(2), object_id)
+        return True
+
+    drive(cluster, scenario())
+    cluster.node(2).fail()
+    locations = directory.locations_of(object_id)
+    assert 2 not in locations
+    # The checked-out source (node 0) is restored so others can still fetch.
+    assert 0 in locations and 1 in locations
+
+    cluster.node(1).fail()
+    assert 1 not in directory.locations_of(object_id)
+
+
+def test_delete_object_clears_everything(setup):
+    cluster, directory = setup
+    object_id = ObjectID.of("x")
+
+    def scenario():
+        yield from directory.put_inline(cluster.node(0), object_id, ObjectValue.from_bytes(b"v"))
+        yield from directory.publish_complete(cluster.node(0), object_id, MB)
+        yield from directory.delete_object(cluster.node(0), object_id)
+        return directory.locations_of(object_id), directory.peek_record(object_id).inline_value
+
+    locations, inline = drive(cluster, scenario())
+    assert locations == {}
+    assert inline is None
+
+
+def test_remove_location(setup):
+    cluster, directory = setup
+    object_id = ObjectID.of("x")
+
+    def scenario():
+        yield from directory.publish_complete(cluster.node(0), object_id, MB)
+        yield from directory.remove_location(cluster.node(0), object_id, 0)
+        return directory.locations_of(object_id)
+
+    assert drive(cluster, scenario()) == {}
+
+
+def test_shard_placement_is_deterministic(setup):
+    cluster, directory = setup
+    object_id = ObjectID.of("stable-key")
+    assert directory._shard_node(object_id) is directory._shard_node(ObjectID.of("stable-key"))

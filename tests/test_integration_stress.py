@@ -1,0 +1,181 @@
+"""System-level integration and stress tests across the whole stack."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import HopliteOptions, HopliteRuntime, ObjectID, ObjectValue, ReduceOp
+from repro.net import Cluster, NetworkConfig
+
+MB = 1024 * 1024
+
+
+def test_allreduce_delivers_identical_result_to_every_node():
+    """Reduce-then-broadcast (allreduce) gives every node the same correct sum."""
+    num_nodes = 6
+    cluster = Cluster(num_nodes=num_nodes, network=NetworkConfig())
+    runtime = HopliteRuntime(cluster)
+    sim = cluster.sim
+    source_ids = [ObjectID.of(f"g{i}") for i in range(num_nodes)]
+    target_id = ObjectID.of("sum")
+    received: dict[int, np.ndarray] = {}
+
+    def producer(node_id):
+        yield from runtime.client(node_id).put(
+            source_ids[node_id],
+            ObjectValue.from_array(np.full(3, float(node_id + 1)), logical_size=16 * MB),
+        )
+
+    def reducer():
+        yield from runtime.client(0).reduce(target_id, source_ids, ReduceOp.SUM)
+
+    def fetcher(node_id):
+        value = yield from runtime.client(node_id).get(target_id)
+        received[node_id] = value.as_array()
+
+    for node_id in range(num_nodes):
+        sim.process(producer(node_id))
+    sim.process(reducer())
+    for node_id in range(num_nodes):
+        sim.process(fetcher(node_id))
+    cluster.run(until=300.0)
+
+    expected = sum(range(1, num_nodes + 1))
+    assert set(received) == set(range(num_nodes))
+    for node_id, array in received.items():
+        assert np.allclose(array, expected), node_id
+
+
+def test_many_concurrent_broadcasts_do_not_interfere_with_correctness():
+    """Several objects broadcast at once; every receiver ends with the right payloads."""
+    cluster = Cluster(num_nodes=6, network=NetworkConfig())
+    runtime = HopliteRuntime(cluster)
+    sim = cluster.sim
+    num_objects = 4
+    object_ids = [ObjectID.of(f"obj{i}") for i in range(num_objects)]
+    results: dict[tuple[int, int], float] = {}
+
+    def producer(index):
+        owner = index % 3  # objects originate on nodes 0..2
+        yield from runtime.client(owner).put(
+            object_ids[index],
+            ObjectValue.from_array(np.full(2, float(index)), logical_size=24 * MB),
+        )
+
+    def consumer(node_id, index):
+        value = yield from runtime.client(node_id).get(object_ids[index])
+        results[(node_id, index)] = float(value.as_array()[0])
+
+    for index in range(num_objects):
+        sim.process(producer(index))
+    for node_id in range(3, 6):
+        for index in range(num_objects):
+            sim.process(consumer(node_id, index))
+    cluster.run(until=300.0)
+
+    assert len(results) == 3 * num_objects
+    for (node_id, index), value in results.items():
+        assert value == float(index)
+
+
+def test_reduce_with_repeated_random_failures_still_completes():
+    """A reduce keeps completing correctly while spare participants fail one by one."""
+    num_nodes = 10
+    cluster = Cluster(num_nodes=num_nodes, network=NetworkConfig())
+    runtime = HopliteRuntime(cluster)
+    sim = cluster.sim
+    source_ids = [ObjectID.of(f"s{i}") for i in range(num_nodes)]
+    target_id = ObjectID.of("t")
+    outcome = {}
+
+    def producer(node_id):
+        yield sim.timeout(0.01 * node_id)
+        yield from runtime.client(node_id).put(
+            source_ids[node_id],
+            ObjectValue.from_array(np.full(2, float(node_id + 1)), logical_size=16 * MB),
+        )
+
+    def reducer():
+        result = yield from runtime.client(0).reduce(
+            target_id, source_ids, ReduceOp.SUM, num_objects=6
+        )
+        value = yield from runtime.client(0).get(target_id)
+        outcome["result"] = result
+        outcome["value"] = value.as_array()
+
+    for node_id in range(num_nodes):
+        sim.process(producer(node_id))
+    sim.process(reducer())
+    # Two mid-tree participants die at different times; spares replace them.
+    cluster.schedule_failure(2, at=0.06)
+    cluster.schedule_failure(4, at=0.12)
+    cluster.run(until=600.0)
+
+    assert "value" in outcome, "reduce did not complete under repeated failures"
+    reduced_keys = {oid.key for oid in outcome["result"].reduced_ids}
+    assert len(reduced_keys) == 6
+    # The reported membership and the reduced payload agree exactly.
+    expected = sum(int(key[1:]) + 1 for key in reduced_keys)
+    assert np.allclose(outcome["value"], expected)
+    # The participant that died while the reduce was still in progress was
+    # replaced by a spare.  (The second failure may land after the reduce has
+    # already completed, in which case its contribution legitimately remains.)
+    assert "s2" not in reduced_keys
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    num_nodes=st.integers(min_value=2, max_value=8),
+    size_mb=st.sampled_from([1, 8, 24]),
+    degree=st.sampled_from([None, 1, 2, 0]),
+)
+def test_reduce_correctness_is_independent_of_shape(num_nodes, size_mb, degree):
+    """Property: the reduced value never depends on the tree degree or cluster size."""
+    cluster = Cluster(num_nodes=num_nodes, network=NetworkConfig())
+    options = HopliteOptions(reduce_degree=degree, enable_small_object_cache=False)
+    runtime = HopliteRuntime(cluster, options=options)
+    sim = cluster.sim
+    source_ids = [ObjectID.of(f"p{i}") for i in range(num_nodes)]
+    target_id = ObjectID.of("t")
+    outcome = {}
+
+    def producer(node_id):
+        yield from runtime.client(node_id).put(
+            source_ids[node_id],
+            ObjectValue.from_array(np.full(2, float(node_id + 1)), logical_size=size_mb * MB),
+        )
+
+    def reducer():
+        yield from runtime.client(0).reduce(target_id, source_ids, ReduceOp.SUM)
+        value = yield from runtime.client(0).get(target_id)
+        outcome["value"] = value.as_array()
+
+    for node_id in range(num_nodes):
+        sim.process(producer(node_id))
+    sim.process(reducer())
+    cluster.run(until=600.0)
+    assert np.allclose(outcome["value"], sum(range(1, num_nodes + 1)))
+
+
+def test_simulation_leaves_no_leaked_nic_capacity():
+    """After a workload with failures, every NIC resource is fully released."""
+    cluster = Cluster(num_nodes=5, network=NetworkConfig())
+    runtime = HopliteRuntime(cluster)
+    sim = cluster.sim
+    object_id = ObjectID.of("x")
+
+    def scenario():
+        yield from runtime.client(0).put(object_id, ObjectValue.of_size(128 * MB))
+        receivers = [
+            sim.process(runtime.client(node_id).get(object_id)) for node_id in range(1, 5)
+        ]
+        yield sim.any_of(receivers)
+
+    sim.process(scenario())
+    cluster.schedule_failure(2, at=0.05)
+    cluster.run(until=120.0)
+    for node in cluster.nodes:
+        assert node.uplink.in_use == 0, node
+        assert node.downlink.in_use == 0, node
+        assert node.memcpy_channel.in_use == 0, node
