@@ -1,0 +1,63 @@
+"""Allgather / alltoall collectives and MoE expert routing.
+
+These extend the paper's Figure 7 methodology to the collective shapes that
+dominate MoE-style expert routing (alltoall) and batch-norm-style statistics
+exchange (allgather).  Expectations:
+
+* Hoplite's allgather stays within 1.5x of the pipelined analytical bound
+  ``S_total / B + L * log n`` and beats the naive task-system plane;
+* the static ring/pairwise baselines are the bandwidth-optimal reference;
+* MoE routing throughput is higher over Hoplite than over the Ray-style
+  plane at every cluster size, because both alltoalls per iteration overlap
+  sends and receives instead of serializing puts before gets.
+"""
+
+import math
+
+from repro.bench.experiments import MB, allgather_alltoall_rows, moe_routing
+from repro.bench.reporting import format_table
+from repro.net.config import NetworkConfig
+
+COLUMNS = [
+    "primitive",
+    "size",
+    "nodes",
+    "hoplite",
+    "openmpi",
+    "gloo",
+    "ray",
+    "dask",
+]
+
+
+def test_allgather_alltoall_collectives(run_once, quick):
+    sizes = (8 * MB,) if quick else (MB, 8 * MB, 32 * MB)
+    node_counts = (4,) if quick else (4, 8, 16)
+    rows = run_once(allgather_alltoall_rows, sizes=sizes, node_counts=node_counts)
+    print()
+    print(format_table("Allgather / alltoall latency (seconds)", rows, COLUMNS))
+
+    network = NetworkConfig()
+    for row in rows:
+        assert row["hoplite"] > 0 and row["openmpi"] > 0
+        # Hoplite beats the naive plane once the operation is bandwidth-bound.
+        if row["size"] != "1MB":
+            assert row["hoplite"] <= row["ray"], row
+        if row["primitive"] == "allgather":
+            size = {"1MB": MB, "8MB": 8 * MB, "32MB": 32 * MB}[row["size"]]
+            bound = (
+                row["nodes"] * size / network.bandwidth
+                + network.latency * math.log2(row["nodes"])
+            )
+            assert row["hoplite"] <= 1.5 * bound, row
+
+
+def test_moe_routing_throughput(run_once, quick):
+    node_counts = (4,) if quick else (4, 8)
+    iterations = 2 if quick else 3
+    rows = run_once(moe_routing, node_counts=node_counts, num_iterations=iterations)
+    print()
+    print(format_table("MoE expert routing (iterations/second)", rows,
+                       ["nodes", "hoplite", "ray", "speedup"]))
+    for row in rows:
+        assert row["speedup"] > 1.0, row

@@ -10,6 +10,24 @@ from __future__ import annotations
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help=(
+            "Smoke mode for CI: benchmarks shrink their parameter grids to "
+            "one cheap point per scenario."
+        ),
+    )
+
+
+@pytest.fixture
+def quick(request):
+    """True when the suite runs with ``--quick`` (CI smoke invocation)."""
+    return request.config.getoption("--quick")
+
+
 @pytest.fixture
 def run_once(benchmark):
     """Run a deterministic experiment exactly once under pytest-benchmark."""

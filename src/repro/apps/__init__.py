@@ -8,6 +8,7 @@ per-iteration latencies.
 """
 
 from repro.apps.common import AppResult, FailureSchedule
+from repro.apps.moe import run_moe_routing
 from repro.apps.param_server import run_async_sgd
 from repro.apps.rl import run_rl_training
 from repro.apps.serving import run_model_serving
@@ -18,6 +19,7 @@ __all__ = [
     "FailureSchedule",
     "run_async_sgd",
     "run_model_serving",
+    "run_moe_routing",
     "run_rl_training",
     "run_sync_training",
 ]

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Generator, Optional, Sequence
 
 from repro.collectives.naive import DASK_PROFILE, RAY_PROFILE, TaskSystemPlane
 from repro.collectives.plane import CommPlane, HoplitePlane
@@ -11,6 +11,8 @@ from repro.core.options import HopliteOptions
 from repro.core.runtime import HopliteRuntime
 from repro.net.cluster import Cluster
 from repro.net.config import NetworkConfig
+from repro.net.transport import TransferError
+from repro.store.objects import ObjectID, ObjectValue
 
 
 PLANE_SYSTEMS = ("hoplite", "ray", "dask")
@@ -79,3 +81,58 @@ def apply_failures(cluster: Cluster, failures) -> None:
         failures = [failures]
     for failure in failures:
         cluster.schedule_failure(failure.node_id, failure.fail_at, failure.recover_at)
+
+
+def reconstruct_on_recovery(
+    cluster: Cluster,
+    plane: CommPlane,
+    node_id: int,
+    objects: Sequence[tuple[ObjectID, ObjectValue]],
+) -> Generator:
+    """Framework-style object reconstruction: re-``Put`` after every rejoin.
+
+    The paper delegates reconstruction of lost objects to the task
+    framework's lineage re-execution (Section 6); this process stands in for
+    it wherever failures are injected.  Re-putting an object that survived
+    elsewhere is harmless — ``Put`` is idempotent per ObjectID.
+    """
+    sim = cluster.sim
+    node = cluster.node(node_id)
+    while True:
+        yield node.failure_event()
+        yield node.recovery_event()
+        for object_id, value in objects:
+            while node.alive:
+                try:
+                    yield from plane.put(node, object_id, value)
+                    break
+                except TransferError:
+                    yield sim.timeout(cluster.config.failure_detection_delay)
+
+
+def retry_across_failures(
+    cluster: Cluster,
+    node_id: int,
+    attempt: Callable[[], Generator],
+    on_retry: Optional[Callable[[], None]] = None,
+) -> Generator:
+    """Drive one participant's share of a collective, retrying across failures.
+
+    Re-runs ``attempt`` until it completes: after the participant's own node
+    fails, the retry waits for the rejoin; transient errors while the node is
+    alive back off by one failure-detection delay.  Returns the successful
+    attempt's result.
+    """
+    sim = cluster.sim
+    node = cluster.node(node_id)
+    while True:
+        try:
+            if not node.alive:
+                yield node.recovery_event()
+            result = yield from attempt()
+            return result
+        except TransferError:
+            if on_retry is not None:
+                on_retry()
+            if node.alive:
+                yield sim.timeout(cluster.config.failure_detection_delay)

@@ -9,7 +9,9 @@ assembles them into the paper's tables and figures, and
 from repro.bench.reporting import format_series, format_table
 from repro.bench.scenarios import (
     SUPPORTED_SYSTEMS,
+    measure_allgather,
     measure_allreduce,
+    measure_alltoall,
     measure_broadcast,
     measure_gather,
     measure_point_to_point_rtt,
@@ -20,7 +22,9 @@ __all__ = [
     "SUPPORTED_SYSTEMS",
     "format_series",
     "format_table",
+    "measure_allgather",
     "measure_allreduce",
+    "measure_alltoall",
     "measure_broadcast",
     "measure_gather",
     "measure_point_to_point_rtt",

@@ -19,12 +19,15 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.apps.common import FailureSchedule
+from repro.apps.moe import run_moe_routing
 from repro.apps.param_server import run_async_sgd
 from repro.apps.rl import run_rl_training
 from repro.apps.serving import run_model_serving
 from repro.apps.sync_training import run_sync_training
 from repro.bench.scenarios import (
+    measure_allgather,
     measure_allreduce,
+    measure_alltoall,
     measure_broadcast,
     measure_gather,
     measure_point_to_point_rtt,
@@ -76,6 +79,8 @@ _FIG7_SYSTEMS = {
         "gloo_ring_chunked",
         "gloo_halving_doubling",
     ),
+    "allgather": ("hoplite", "openmpi", "gloo", "ray", "dask"),
+    "alltoall": ("hoplite", "openmpi", "gloo", "ray", "dask"),
 }
 
 _MEASURES = {
@@ -83,6 +88,8 @@ _MEASURES = {
     "gather": measure_gather,
     "reduce": measure_reduce,
     "allreduce": measure_allreduce,
+    "allgather": measure_allgather,
+    "alltoall": measure_alltoall,
 }
 
 
@@ -127,6 +134,20 @@ def fig14_small_objects(
 ) -> list[dict]:
     """Figure 14 (Appendix A): small-object collectives (directory fast path)."""
     return collective_rows(sizes, node_counts)
+
+
+def allgather_alltoall_rows(
+    sizes: Sequence[int] = (MB, 32 * MB),
+    node_counts: Sequence[int] = (4, 8, 16),
+) -> list[dict]:
+    """Collective-family extension: allgather / alltoall latency per system.
+
+    These are the shapes the MPI AI-cluster benchmarks identify as dominating
+    MoE expert routing (alltoall) and batch-norm-style statistics exchange
+    (allgather); they are not in the paper's figures but reuse its exact
+    measurement boundaries.
+    """
+    return collective_rows(sizes, node_counts, primitives=("allgather", "alltoall"))
 
 
 # ---------------------------------------------------------------------------
@@ -324,6 +345,31 @@ def fig15_reduce_degree(
                 )
                 row[label] = measure_reduce("hoplite", num_nodes, size, options=options)
             rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# MoE expert routing (alltoall-dominated application workload)
+# ---------------------------------------------------------------------------
+
+
+def moe_routing(
+    node_counts: Sequence[int] = (4, 8),
+    num_iterations: int = 3,
+) -> list[dict]:
+    """MoE expert-routing throughput, Hoplite vs the Ray-style plane."""
+    rows = []
+    for num_nodes in node_counts:
+        hoplite = run_moe_routing(num_nodes, "hoplite", num_iterations)
+        ray = run_moe_routing(num_nodes, "ray", num_iterations)
+        rows.append(
+            {
+                "nodes": num_nodes,
+                "hoplite": hoplite.throughput,
+                "ray": ray.throughput,
+                "speedup": hoplite.throughput / ray.throughput if ray.throughput else float("nan"),
+            }
+        )
     return rows
 
 

@@ -12,14 +12,26 @@ boundaries as the paper:
 * reduce — from the ``Reduce`` call to the caller holding the result;
 * allreduce — from the ``Reduce`` call to the last participant holding the
   result;
+* allgather — from the moment every participant's ``Put`` has completed to
+  the last participant holding all ``n`` objects;
+* alltoall — from the start of the exchange (sends included) to the last
+  participant holding its ``n - 1`` personalized blocks;
 * the asynchrony variants stagger participant arrivals by a fixed interval
   and measure from the arrival of the first participant (Figure 8).
+
+``measure_allgather`` and ``measure_alltoall`` additionally accept a failure
+schedule (:class:`~repro.net.failure.FailureEvent` list).  The object planes
+ride through failures with Hoplite's per-transfer recovery plus framework
+reconstruction (a recovered producer re-``Put``s its objects, Section 6);
+the static systems abort and restart the whole job once every node is back —
+the MPI failure model.
 """
 
 from __future__ import annotations
 
 from typing import Generator, Optional, Sequence
 
+from repro.apps.common import reconstruct_on_recovery, retry_across_failures
 from repro.collectives.gloo import GlooCollectives
 from repro.collectives.mpi import MPICollectives
 from repro.collectives.naive import (
@@ -32,7 +44,9 @@ from repro.core.options import HopliteOptions
 from repro.core.runtime import HopliteRuntime
 from repro.net.cluster import Cluster
 from repro.net.config import NetworkConfig
-from repro.net.transport import transfer_bytes
+from repro.net.failure import FailureEvent
+from repro.net.failure import schedule as _install_failures
+from repro.net.transport import TransferError, transfer_bytes
 from repro.store.objects import ObjectID, ObjectValue, ReduceOp
 
 SUPPORTED_SYSTEMS = (
@@ -482,3 +496,235 @@ def measure_allreduce(
     sim.process(_scenario(), name="allreduce-scenario")
     sim.run()
     return result["latency"]
+
+
+# ---------------------------------------------------------------------------
+# Allgather / Alltoall (collective-family extension; MoE + batch-norm shapes)
+# ---------------------------------------------------------------------------
+
+
+def _run_static_with_restarts(
+    cluster: Cluster,
+    make_op,
+    num_ranks: int,
+) -> float:
+    """Run a static collective, restarting the whole job after node failures.
+
+    Static (MPI/Gloo-style) collectives have no intra-operation fault
+    tolerance: a failed rank aborts the job and the launcher re-runs it once
+    the node rejoins.  Aborted attempts interrupt every rank process so no
+    partial state leaks into the retry.
+    """
+    sim = cluster.sim
+    finish: dict[str, float] = {}
+
+    def _rank(op, rank: int) -> Generator:
+        rank_result = yield from op.participate(rank)
+        return rank_result.finish_time
+
+    def _job() -> Generator:
+        while True:
+            op = make_op()
+            rank_procs = [
+                sim.process(_rank(op, rank), name=f"static-rank-{rank}")
+                for rank in range(num_ranks)
+            ]
+            all_done = sim.all_of(rank_procs)
+            any_failure = sim.any_of(
+                [node.failure_event() for node in cluster.nodes]
+            )
+            aborted = False
+            try:
+                yield sim.any_of([all_done, any_failure])
+                aborted = not all_done.triggered
+            except TransferError:
+                aborted = True
+            if not aborted:
+                finish["t"] = max(all_done.value)
+                return
+            for proc in rank_procs:
+                if proc.is_alive:
+                    proc.interrupt("static collective restart")
+            while not all(node.alive for node in cluster.nodes):
+                dead = next(node for node in cluster.nodes if not node.alive)
+                yield dead.recovery_event()
+
+    sim.process(_job(), name="static-job")
+    sim.run()
+    if "t" not in finish:
+        raise RuntimeError("static collective did not complete (unrecovered failure?)")
+    return finish["t"]
+
+
+def measure_allgather(
+    system: str,
+    num_nodes: int,
+    nbytes: int,
+    network: Optional[NetworkConfig] = None,
+    options: Optional[HopliteOptions] = None,
+    failures: Optional[Sequence[FailureEvent]] = None,
+) -> float:
+    """Latency for every node to hold one object from every other node.
+
+    ``nbytes`` is the per-node contribution.  For the object planes every
+    ``Put`` completes before the measurement window opens; each participant
+    then gathers all ``n`` objects and the slowest participant defines the
+    latency.  The pipelined analytical bound is ``S_total / B + L * log n``
+    with ``S_total = n * nbytes`` (each downlink must absorb almost the full
+    gathered payload; the broadcast trees add a logarithmic latency term).
+    """
+    _check_system(system)
+    network = network or NetworkConfig()
+    if system == "optimal":
+        return (num_nodes - 1) * nbytes / network.bandwidth
+    if num_nodes < 2:
+        raise ValueError("allgather needs at least two nodes")
+
+    cluster = _make_cluster(num_nodes, network)
+    sim = cluster.sim
+    if failures:
+        _install_failures(cluster, failures)
+
+    if system in STATIC_SYSTEMS:
+        if system == "openmpi":
+            make_op = lambda: MPICollectives(cluster).allgather(nbytes)  # noqa: E731
+        elif system == "gloo":
+            make_op = lambda: GlooCollectives(cluster).allgather(nbytes)  # noqa: E731
+        else:
+            raise UnsupportedScenarioError(f"{system!r} does not implement allgather")
+        return _run_static_with_restarts(cluster, make_op, num_nodes)
+
+    plane = _make_plane(system, cluster, options)
+    source_ids = [ObjectID.unique(f"allgather-{i}") for i in range(num_nodes)]
+    values = [ObjectValue.of_size(nbytes) for _ in range(num_nodes)]
+    finish_times: list[float] = []
+
+    def _producer(node_id: int) -> Generator:
+        yield from retry_across_failures(
+            cluster,
+            node_id,
+            lambda: plane.put(cluster.node(node_id), source_ids[node_id], values[node_id]),
+        )
+
+    def _gatherer(node_id: int, epoch: float) -> Generator:
+        yield from retry_across_failures(
+            cluster,
+            node_id,
+            lambda: plane.allgather(cluster.node(node_id), source_ids),
+        )
+        finish_times.append(sim.now - epoch)
+
+    def _scenario() -> Generator:
+        # Reconstructors go in before any Put so a producer that fails right
+        # after its own Put (while others are still putting) is still re-Put.
+        if failures:
+            for node_id in range(num_nodes):
+                sim.process(
+                    reconstruct_on_recovery(
+                        cluster,
+                        plane,
+                        node_id,
+                        [(source_ids[node_id], values[node_id])],
+                    ),
+                    name=f"allgather-reconstruct-{node_id}",
+                )
+        producers = [
+            sim.process(_producer(node_id), name=f"allgather-put-{node_id}")
+            for node_id in range(num_nodes)
+        ]
+        yield sim.all_of(producers)
+        epoch = sim.now
+        gatherers = [
+            sim.process(_gatherer(node_id, epoch), name=f"allgather-node-{node_id}")
+            for node_id in range(num_nodes)
+        ]
+        yield sim.all_of(gatherers)
+
+    sim.process(_scenario(), name="allgather-scenario")
+    sim.run()
+    if len(finish_times) != num_nodes:
+        raise RuntimeError("allgather did not complete (unrecovered failure?)")
+    return max(finish_times)
+
+
+def measure_alltoall(
+    system: str,
+    num_nodes: int,
+    nbytes: int,
+    network: Optional[NetworkConfig] = None,
+    options: Optional[HopliteOptions] = None,
+    failures: Optional[Sequence[FailureEvent]] = None,
+) -> float:
+    """Latency of a personalized all-to-all exchange (``nbytes`` per pair).
+
+    Every node contributes one object per peer; the measurement covers the
+    whole exchange (sends included, matching ``MPI_Alltoall`` semantics) and
+    ends when the slowest participant holds its ``n - 1`` incoming blocks.
+    """
+    _check_system(system)
+    network = network or NetworkConfig()
+    if system == "optimal":
+        return (num_nodes - 1) * nbytes / network.bandwidth
+    if num_nodes < 2:
+        raise ValueError("alltoall needs at least two nodes")
+
+    cluster = _make_cluster(num_nodes, network)
+    sim = cluster.sim
+    if failures:
+        _install_failures(cluster, failures)
+
+    if system in STATIC_SYSTEMS:
+        if system == "openmpi":
+            make_op = lambda: MPICollectives(cluster).alltoall(nbytes)  # noqa: E731
+        elif system == "gloo":
+            make_op = lambda: GlooCollectives(cluster).alltoall(nbytes)  # noqa: E731
+        else:
+            raise UnsupportedScenarioError(f"{system!r} does not implement alltoall")
+        return _run_static_with_restarts(cluster, make_op, num_nodes)
+
+    plane = _make_plane(system, cluster, options)
+    pair_ids = {
+        (src, dst): ObjectID.unique(f"alltoall-{src}-{dst}")
+        for src in range(num_nodes)
+        for dst in range(num_nodes)
+        if src != dst
+    }
+    finish_times: list[float] = []
+
+    def _sends(node_id: int) -> list[tuple[ObjectID, ObjectValue]]:
+        return [
+            (pair_ids[(node_id, dst)], ObjectValue.of_size(nbytes))
+            for dst in range(num_nodes)
+            if dst != node_id
+        ]
+
+    def _participant(node_id: int, epoch: float) -> Generator:
+        recv_ids = [
+            pair_ids[(src, node_id)] for src in range(num_nodes) if src != node_id
+        ]
+        yield from retry_across_failures(
+            cluster,
+            node_id,
+            lambda: plane.alltoall(cluster.node(node_id), _sends(node_id), recv_ids),
+        )
+        finish_times.append(sim.now - epoch)
+
+    def _scenario() -> Generator:
+        if failures:
+            for node_id in range(num_nodes):
+                sim.process(
+                    reconstruct_on_recovery(cluster, plane, node_id, _sends(node_id)),
+                    name=f"alltoall-reconstruct-{node_id}",
+                )
+        epoch = sim.now
+        participants = [
+            sim.process(_participant(node_id, epoch), name=f"alltoall-node-{node_id}")
+            for node_id in range(num_nodes)
+        ]
+        yield sim.all_of(participants)
+
+    sim.process(_scenario(), name="alltoall-scenario")
+    sim.run()
+    if len(finish_times) != num_nodes:
+        raise RuntimeError("alltoall did not complete (unrecovered failure?)")
+    return max(finish_times)

@@ -15,7 +15,11 @@ from __future__ import annotations
 from typing import Generator
 
 from repro.collectives.base import CollectiveGroup, StaticOperation
-from repro.collectives.mpi import HalvingDoublingAllreduce
+from repro.collectives.mpi import (
+    HalvingDoublingAllreduce,
+    PairwiseAlltoall,
+    RingAllgather,
+)
 from repro.net.node import Node
 from repro.net.transport import transfer_bytes
 from repro.sim import Event
@@ -139,3 +143,11 @@ class GlooCollectives:
 
     def allreduce_halving_doubling(self, nbytes: int) -> HalvingDoublingAllreduce:
         return HalvingDoublingAllreduce(self.group, nbytes)
+
+    def allgather(self, nbytes: int) -> RingAllgather:
+        """Gloo implements the same ring allgather as OpenMPI's tuned module."""
+        return RingAllgather(self.group, nbytes)
+
+    def alltoall(self, nbytes: int) -> PairwiseAlltoall:
+        """Gloo's alltoall is a pairwise exchange as well."""
+        return PairwiseAlltoall(self.group, nbytes)

@@ -11,6 +11,12 @@ paper's testbed:
   MPI, nothing moves until every rank has entered the collective.
 * gather — every rank sends its full buffer to the root.
 * allreduce — recursive halving–doubling (reduce-scatter + allgather).
+* allgather — ring algorithm with segment pipelining (OpenMPI's and Gloo's
+  large-message choice): each rank forwards the piece it received in the
+  previous step to its successor.
+* alltoall — pairwise linear exchange: in round ``r`` rank ``i`` sends its
+  personalized block to rank ``(i + r) mod n``; sends are non-blocking and
+  serialize on the NIC resources.
 * send/recv — plain point-to-point used by the Figure 6 RTT benchmark.
 """
 
@@ -369,6 +375,105 @@ class HalvingDoublingAllreduce(StaticOperation):
         return core_rank + self.rem
 
 
+class RingAllgather(StaticOperation):
+    """Segment-pipelined ring allgather (``nbytes`` is the per-rank piece).
+
+    ``n - 1`` steps; in step ``s`` every rank forwards to its successor the
+    piece it received in step ``s - 1`` (its own contribution in step 0).
+    Like every static collective here the exchange is synchronous: no data
+    moves until the whole group has arrived.
+    """
+
+    requires_full_group = True
+
+    def __init__(self, group: CollectiveGroup, nbytes: int):
+        super().__init__(group, nbytes)
+        size = group.size
+        #: (rank, step) -> the piece sent around the ring in ``step`` arrived.
+        self._piece_arrived: dict[tuple[int, int], Event] = {
+            (rank, step): Event(self.sim)
+            for rank in range(size)
+            for step in range(max(1, size - 1))
+        }
+
+    def _participate(self, rank: int, node: Node) -> Generator:
+        size = self.group.size
+        if size == 1:
+            self.mark_data_ready(rank)
+            return
+        next_rank = (rank + 1) % size
+        for step in range(size - 1):
+            if step > 0:
+                yield self._piece_arrived[(rank, step - 1)]
+            yield from self.send_segmented(rank, next_rank)
+            arrived = self._piece_arrived[(next_rank, step)]
+            if not arrived.triggered:
+                arrived.succeed(self.sim.now)
+        yield self._piece_arrived[(rank, size - 2)]
+        self.mark_data_ready(rank)
+
+
+class PairwiseAlltoall(StaticOperation):
+    """Pairwise linear-exchange alltoall (``nbytes`` per destination block).
+
+    ``n - 1`` rounds; in round ``r`` rank ``i`` sends its block for rank
+    ``(i + r) mod n`` and receives the block from rank ``(i - r) mod n``.
+    Sends are issued back to back (non-blocking), so the exchange is paced by
+    the uplink/downlink resources rather than round barriers — the standard
+    ``MPI_Alltoall`` behaviour for mid-sized blocks.
+    """
+
+    requires_full_group = True
+
+    def __init__(self, group: CollectiveGroup, nbytes: int):
+        super().__init__(group, nbytes)
+        size = group.size
+        #: (rank, round) -> the block addressed to ``rank`` in ``round`` arrived.
+        self._block_arrived: dict[tuple[int, int], Event] = {
+            (rank, rnd): Event(self.sim)
+            for rank in range(size)
+            for rnd in range(1, size)
+        }
+
+    def _send_round(self, rank: int, rnd: int) -> Generator:
+        dst_rank = (rank + rnd) % self.group.size
+        yield from self.send_whole(rank, dst_rank)
+        arrived = self._block_arrived[(dst_rank, rnd)]
+        if not arrived.triggered:
+            arrived.succeed(self.sim.now)
+
+    def _participate(self, rank: int, node: Node) -> Generator:
+        size = self.group.size
+        if size == 1:
+            self.mark_data_ready(rank)
+            return
+        # Non-blocking sends: all rounds are posted at once and pace
+        # themselves on the uplink/downlink resources (round order is
+        # preserved by the FIFO resource queues), so one busy destination
+        # never head-of-line-blocks the blocks bound for idle destinations.
+        senders = [
+            self.sim.process(
+                self._send_round(rank, rnd), name=f"alltoall-send-{rank}-{rnd}"
+            )
+            for rnd in range(1, size)
+        ]
+        gate = self.sim.all_of(senders)
+        try:
+            yield gate
+            for rnd in range(1, size):
+                yield self._block_arrived[(rank, rnd)]
+        except BaseException:
+            # An aborted rank (job restart after a node failure) must take
+            # its posted sends down with it, or ghost transfers from the old
+            # attempt keep consuming NIC resources under the retry.
+            gate.defused = True
+            for proc in senders:
+                if proc.is_alive:
+                    proc.interrupt("alltoall aborted")
+            raise
+        self.mark_data_ready(rank)
+
+
 class MPICollectives:
     """Factory for OpenMPI-style collective operations on a cluster.
 
@@ -399,6 +504,14 @@ class MPICollectives:
 
     def allreduce(self, nbytes: int) -> HalvingDoublingAllreduce:
         return HalvingDoublingAllreduce(self.group, nbytes)
+
+    def allgather(self, nbytes: int) -> RingAllgather:
+        """Ring allgather; ``nbytes`` is each rank's contribution."""
+        return RingAllgather(self.group, nbytes)
+
+    def alltoall(self, nbytes: int) -> PairwiseAlltoall:
+        """Pairwise-exchange alltoall; ``nbytes`` is the per-destination block."""
+        return PairwiseAlltoall(self.group, nbytes)
 
     def send(self, src_rank: int, dst_rank: int, nbytes: int) -> Generator:
         """Point-to-point send (used by the RTT microbenchmark)."""

@@ -157,6 +157,73 @@ class TaskSystemPlane(CommPlane):
             completion_time=self.sim.now,
         )
 
+    def allgather(self, node: Node, source_ids: Sequence[ObjectID]) -> Generator:
+        """Sequential gets, one per source: how ``ray.get([refs])`` behaves.
+
+        Without partial-copy relaying every receiver pulls each object from
+        its creator, so all participants' allgathers contend for the same
+        uplinks; the per-object control overhead is paid once per source.
+        """
+        from repro.core.gather import AllGatherResult
+
+        if not source_ids:
+            raise ValueError("allgather requires at least one source object")
+        values = []
+        for object_id in source_ids:
+            value = yield from self.get(node, object_id, read_only=True)
+            values.append(value)
+        return AllGatherResult(
+            source_ids=list(source_ids),
+            values=values,
+            retries=0,
+            completion_time=self.sim.now,
+        )
+
+    def reduce_scatter(
+        self,
+        node: Node,
+        target_id: ObjectID,
+        source_ids: Sequence[ObjectID],
+        op: ReduceOp = ReduceOp.SUM,
+        num_objects: Optional[int] = None,
+    ) -> Generator:
+        """The caller's shard, by gather-and-reduce (no collective support)."""
+        from repro.core.gather import ReduceScatterResult
+
+        result = yield from self.reduce(node, target_id, source_ids, op, num_objects)
+        value = yield from self.get(node, target_id, read_only=True)
+        return ReduceScatterResult(
+            target_id=target_id,
+            reduce=result,
+            value=value,
+            completion_time=self.sim.now,
+        )
+
+    def alltoall(
+        self,
+        node: Node,
+        sends: Sequence[tuple[ObjectID, ObjectValue]],
+        recv_ids: Sequence[ObjectID],
+    ) -> Generator:
+        """Puts then gets, strictly in order: no send/receive overlap."""
+        from repro.core.alltoall import AllToAllResult
+
+        if not sends and not recv_ids:
+            raise ValueError("alltoall requires at least one send or receive")
+        for object_id, value in sends:
+            yield from self.put(node, object_id, value)
+        values = []
+        for object_id in recv_ids:
+            value = yield from self.get(node, object_id, read_only=True)
+            values.append(value)
+        return AllToAllResult(
+            sent_ids=[object_id for object_id, _ in sends],
+            recv_ids=list(recv_ids),
+            values=values,
+            retries=0,
+            completion_time=self.sim.now,
+        )
+
     def delete(self, node: Node, object_id: ObjectID) -> Generator:
         yield from self._overhead()
         result = yield from self.runtime.client(node).delete(object_id)

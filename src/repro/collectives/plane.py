@@ -19,7 +19,13 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class CommPlane:
-    """Abstract object-transfer plane: put / get / reduce over ObjectIDs."""
+    """Abstract object-transfer plane: put / get / reduce over ObjectIDs.
+
+    The collective family (``allgather`` / ``reduce_scatter`` / ``alltoall``)
+    is expressed per participant: every participant calls the method for its
+    own share (its column of the shard matrix, its row of sends), mirroring
+    how ``allreduce`` is a per-participant reduce-then-get composition.
+    """
 
     name = "abstract"
 
@@ -36,6 +42,27 @@ class CommPlane:
         source_ids: Sequence[ObjectID],
         op: ReduceOp = ReduceOp.SUM,
         num_objects: Optional[int] = None,
+    ) -> Generator:
+        raise NotImplementedError
+
+    def allgather(self, node: Node, source_ids: Sequence[ObjectID]) -> Generator:
+        raise NotImplementedError
+
+    def reduce_scatter(
+        self,
+        node: Node,
+        target_id: ObjectID,
+        source_ids: Sequence[ObjectID],
+        op: ReduceOp = ReduceOp.SUM,
+        num_objects: Optional[int] = None,
+    ) -> Generator:
+        raise NotImplementedError
+
+    def alltoall(
+        self,
+        node: Node,
+        sends: Sequence[tuple[ObjectID, ObjectValue]],
+        recv_ids: Sequence[ObjectID],
     ) -> Generator:
         raise NotImplementedError
 
@@ -70,6 +97,32 @@ class HoplitePlane(CommPlane):
         result = yield from self.runtime.client(node).reduce(
             target_id, source_ids, op, num_objects=num_objects
         )
+        return result
+
+    def allgather(self, node: Node, source_ids: Sequence[ObjectID]) -> Generator:
+        result = yield from self.runtime.client(node).allgather(source_ids)
+        return result
+
+    def reduce_scatter(
+        self,
+        node: Node,
+        target_id: ObjectID,
+        source_ids: Sequence[ObjectID],
+        op: ReduceOp = ReduceOp.SUM,
+        num_objects: Optional[int] = None,
+    ) -> Generator:
+        result = yield from self.runtime.client(node).reduce_scatter(
+            target_id, source_ids, op, num_objects=num_objects
+        )
+        return result
+
+    def alltoall(
+        self,
+        node: Node,
+        sends: Sequence[tuple[ObjectID, ObjectValue]],
+        recv_ids: Sequence[ObjectID],
+    ) -> Generator:
+        result = yield from self.runtime.client(node).alltoall(sends, recv_ids)
         return result
 
     def delete(self, node: Node, object_id: ObjectID) -> Generator:

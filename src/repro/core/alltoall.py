@@ -1,0 +1,123 @@
+"""Pipelined all-to-all personalized exchange over the object store.
+
+An alltoall is the collective behind MoE-style expert routing: participant
+``i`` holds one object per destination ``j`` and must end up with every
+object destined to it.  In Hoplite's object model (Table 1) this is nothing
+more than ``n`` rows of ``Put``s and ``n`` columns of ``Get``s — the value
+of making it first-class is overlap:
+
+* sends and receives run **concurrently**: a participant's outgoing shards
+  are published to the directory as partial locations the moment the ``Put``
+  starts (Section 3.3), so its peers stream blocks while the local
+  worker-to-store copy is still in flight, and its own ``Get``s occupy the
+  downlink at the same time;
+* each (source, destination) pair streams block by block through the
+  transport, so the exchange is bandwidth-bound at ``(n-1) * S / B`` per
+  NIC direction rather than latency-bound;
+* failure handling is inherited from the broadcast protocol
+  (Section 3.5.1): a receiver that loses its source keeps the blocks it has
+  and re-resolves through the directory once the object is re-``Put``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Generator, Sequence
+
+from repro.net.node import Node
+from repro.net.transport import NodeFailedError, TransferError
+from repro.store.objects import ObjectID, ObjectValue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.runtime import HopliteRuntime
+
+
+@dataclass
+class AllToAllResult:
+    """Outcome of one participant's completed alltoall."""
+
+    sent_ids: list[ObjectID]
+    recv_ids: list[ObjectID]
+    #: received values, in ``recv_ids`` order.
+    values: list[ObjectValue]
+    #: transient fetch errors absorbed while sources were being repaired.
+    retries: int
+    completion_time: float
+
+
+class AllToAllExecution:
+    """One participant's share of an all-to-all exchange.
+
+    ``sends`` is this participant's row of the exchange matrix — the
+    ``(ObjectID, ObjectValue)`` pairs it contributes — and ``recv_ids`` is
+    its column: the objects (produced by its peers) it must collect.  Either
+    side may be empty, e.g. when the caller already ``Put`` its row.
+    """
+
+    def __init__(
+        self,
+        runtime: "HopliteRuntime",
+        node: Node,
+        sends: Sequence[tuple[ObjectID, ObjectValue]],
+        recv_ids: Sequence[ObjectID],
+    ):
+        if not sends and not recv_ids:
+            raise ValueError("alltoall requires at least one send or receive")
+        self.runtime = runtime
+        self.node = node
+        self.sim = runtime.sim
+        self.sends = list(sends)
+        self.recv_ids = list(recv_ids)
+        self._values: dict[ObjectID, ObjectValue] = {}
+        self._sent: set[ObjectID] = set()
+        self.retries = 0
+
+    def run(self) -> Generator:
+        workers = [
+            self.sim.process(
+                self._send_one(object_id, value),
+                name=f"alltoall-send-{object_id}-n{self.node.node_id}",
+            )
+            for object_id, value in self.sends
+        ]
+        workers += [
+            self.sim.process(
+                self._recv_one(object_id),
+                name=f"alltoall-recv-{object_id}-n{self.node.node_id}",
+            )
+            for object_id in self.recv_ids
+        ]
+        yield self.sim.all_of(workers)
+        if len(self._values) != len(self.recv_ids) or len(self._sent) != len(self.sends):
+            raise NodeFailedError(
+                f"node {self.node.node_id} failed during alltoall", node=self.node
+            )
+        return AllToAllResult(
+            sent_ids=[object_id for object_id, _ in self.sends],
+            recv_ids=list(self.recv_ids),
+            values=[self._values[object_id] for object_id in self.recv_ids],
+            retries=self.retries,
+            completion_time=self.sim.now,
+        )
+
+    def _send_one(self, object_id: ObjectID, value: ObjectValue) -> Generator:
+        client = self.runtime.client(self.node)
+        try:
+            yield from client.put(object_id, value)
+            self._sent.add(object_id)
+        except TransferError:
+            # The caller died mid-Put; the coordinator reports the failure.
+            return
+
+    def _recv_one(self, object_id: ObjectID) -> Generator:
+        client = self.runtime.client(self.node)
+        while True:
+            try:
+                value = yield from client.get(object_id)
+                self._values[object_id] = value
+                return
+            except TransferError:
+                if not self.node.alive:
+                    return
+                self.retries += 1
+                yield self.sim.timeout(self.runtime.config.failure_detection_delay)

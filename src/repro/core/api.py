@@ -1,4 +1,5 @@
-"""The Hoplite client API (Table 1): Put, Get, Delete, Reduce (+ AllReduce).
+"""The Hoplite client API (Table 1): Put, Get, Delete, Reduce (+ AllReduce,
+AllGather, ReduceScatter, AllToAll compositions).
 
 Every method is a generator meant to be driven by a simulation process::
 
@@ -15,10 +16,17 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Generator, Optional, Sequence
 
+from repro.core.alltoall import AllToAllExecution, AllToAllResult
 from repro.core.broadcast import fetch_object
+from repro.core.gather import (
+    AllGatherExecution,
+    AllGatherResult,
+    ReduceScatterExecution,
+    ReduceScatterResult,
+)
 from repro.core.reduce import ReduceExecution, ReduceResult
 from repro.net.node import Node
-from repro.net.transport import local_copy, local_copy_block
+from repro.net.transport import NodeFailedError, local_copy, local_copy_block
 from repro.store.objects import ObjectID, ObjectValue, ReduceOp
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -119,7 +127,19 @@ class HopliteClient:
             yield fetch
             if manager.inflight_fetches.get(object_id) is fetch:
                 manager.inflight_fetches.pop(object_id, None)
-            entry = store.get_entry(object_id)
+            entry = store.try_get_entry(object_id)
+            if entry is None or not entry.sealed:
+                # The copy vanished between the fetch completing and this
+                # read: the node failed in the same instant (store cleared)
+                # or the copy was evicted.  Fail like any other transfer on
+                # a dead node so retry loops see a TransferError; otherwise
+                # simply fetch again.
+                if not self.node.alive:
+                    raise NodeFailedError(
+                        f"node {self.node.node_id} is down", node=self.node
+                    )
+                result = yield from self.get(object_id, read_only=read_only)
+                return result
 
         if not read_only:
             yield from local_copy(self.config, self.node, entry.size)
@@ -178,3 +198,61 @@ class HopliteClient:
         result = yield from self.reduce(target_id, source_ids, op, num_objects)
         value = yield from self.get(target_id)
         return result, value
+
+    # ------------------------------------------------------------- AllGather --
+    def allgather(self, source_ids: Sequence[ObjectID]) -> Generator:
+        """Fetch every source object locally; each is its own broadcast.
+
+        Performs this participant's share of an allgather (Section 3.4.1 per
+        object): the other participants call :meth:`allgather` themselves and
+        the per-object broadcast trees grow across all of them.  Returns an
+        :class:`~repro.core.gather.AllGatherResult`.
+        """
+        execution = AllGatherExecution(self.runtime, self.node, source_ids)
+        result: AllGatherResult = yield from execution.run()
+        return result
+
+    # --------------------------------------------------------- ReduceScatter --
+    def reduce_scatter(
+        self,
+        target_id: ObjectID,
+        source_ids: Sequence[ObjectID],
+        op: ReduceOp = ReduceOp.SUM,
+        num_objects: Optional[int] = None,
+    ) -> Generator:
+        """Reduce this participant's shard column into ``target_id`` and fetch it.
+
+        ``source_ids`` is the caller's *column* of the logical shard matrix
+        (the objects every participant produced for this caller's shard).
+        Each participant calls :meth:`reduce_scatter` on its own column, so
+        the ``n`` shard reductions run as ``n`` concurrent dynamic trees
+        (Section 3.4.2) that repair independently on failure.  Returns a
+        :class:`~repro.core.gather.ReduceScatterResult`.
+        """
+        execution = ReduceScatterExecution(
+            self.runtime,
+            self.node,
+            target_id,
+            source_ids,
+            op,
+            num_objects=num_objects,
+        )
+        result: ReduceScatterResult = yield from execution.run()
+        return result
+
+    # -------------------------------------------------------------- AllToAll --
+    def alltoall(
+        self,
+        sends: Sequence[tuple[ObjectID, ObjectValue]],
+        recv_ids: Sequence[ObjectID],
+    ) -> Generator:
+        """Exchange personalized objects with every peer (MoE-style routing).
+
+        ``sends`` is this participant's row of the exchange matrix and
+        ``recv_ids`` its column; sends and receives stream concurrently so
+        both NIC directions stay busy (Section 3.3).  Returns an
+        :class:`~repro.core.alltoall.AllToAllResult`.
+        """
+        execution = AllToAllExecution(self.runtime, self.node, sends, recv_ids)
+        result: AllToAllResult = yield from execution.run()
+        return result

@@ -59,10 +59,17 @@ def fetch_object(
     if entry.sealed:
         return entry
 
-    if runtime.options.enable_dynamic_broadcast:
-        yield from _fetch_dynamic(runtime, node, object_id, entry)
-    else:
-        yield from _fetch_from_origin(runtime, node, object_id, entry)
+    # Hold a reference while the fetch writes into the partial: progress
+    # waiters are registered on the *source* entry, so without this the
+    # in-flight destination copy would look idle to the eviction policy.
+    entry.ref_count += 1
+    try:
+        if runtime.options.enable_dynamic_broadcast:
+            yield from _fetch_dynamic(runtime, node, object_id, entry)
+        else:
+            yield from _fetch_from_origin(runtime, node, object_id, entry)
+    finally:
+        entry.ref_count -= 1
     return entry
 
 
@@ -74,7 +81,11 @@ def _fetch_dynamic(
 ) -> Generator:
     """The full receiver-driven protocol with partial sources and recovery."""
     directory = runtime.directory
-    excluded: set[int] = set()
+    #: node_id -> incarnation at the time the source failed us.  A node that
+    #: recovers (and re-publishes the object) gets a fresh incarnation and
+    #: becomes eligible again, so a repaired cluster never wedges on a stale
+    #: exclusion set; the directory re-evaluates this map on every wake-up.
+    excluded: dict[int, int] = {}
     while not entry.sealed:
         source = yield from directory.acquire_transfer_source(node, object_id, excluded)
         source_node = runtime.node(source.node_id)
@@ -85,7 +96,7 @@ def _fetch_dynamic(
         except TransferError:
             # The source died (or lost the object).  Keep our partial blocks,
             # exclude the dead source, and look for another one.
-            excluded.add(source.node_id)
+            excluded[source.node_id] = source_node.incarnation
         if succeeded:
             source_entry = runtime.store(source_node).try_get_entry(object_id)
             payload = source_entry.payload if source_entry is not None else None
@@ -124,8 +135,12 @@ def _fetch_from_origin(
         source_node = runtime.node(complete_sources[0].node_id)
         try:
             source_entry = runtime.store(source_node).get_entry(object_id)
-            yield source_entry.wait_sealed()
-            yield from transfer_bytes(config, source_node, node, entry.size)
+            source_entry.ref_count += 1
+            try:
+                yield source_entry.wait_sealed()
+                yield from transfer_bytes(config, source_node, node, entry.size)
+            finally:
+                source_entry.ref_count -= 1
             entry.metadata.update(source_entry.metadata)
             entry.seal(source_entry.payload)
             yield from directory.publish_complete(node, object_id, entry.size)
@@ -156,19 +171,25 @@ def _pull_blocks(
             node=source_node,
         )
 
-    if not runtime.options.enable_pipelining:
-        yield _race_failure(runtime, source_entry.wait_sealed(), source_node)
-        _ensure_alive(source_node)
+    # Reference the serving copy: a capacity-limited source store must not
+    # evict it mid-stream (the receiver would silently lose the payload).
+    source_entry.ref_count += 1
+    try:
+        if not runtime.options.enable_pipelining:
+            yield _race_failure(runtime, source_entry.wait_sealed(), source_node)
+            _ensure_alive(source_node)
 
-    while entry.blocks_ready < entry.num_blocks:
-        block_index = entry.blocks_ready
-        yield _race_failure(
-            runtime, source_entry.wait_for_blocks(block_index + 1), source_node
-        )
-        _ensure_alive(source_node)
-        nbytes = config.block_bytes(entry.size, block_index)
-        yield from transfer_block(config, source_node, dest_node, nbytes)
-        entry.mark_block_ready(block_index)
+        while entry.blocks_ready < entry.num_blocks:
+            block_index = entry.blocks_ready
+            yield _race_failure(
+                runtime, source_entry.wait_for_blocks(block_index + 1), source_node
+            )
+            _ensure_alive(source_node)
+            nbytes = config.block_bytes(entry.size, block_index)
+            yield from transfer_block(config, source_node, dest_node, nbytes)
+            entry.mark_block_ready(block_index)
+    finally:
+        source_entry.ref_count -= 1
     # Touch the sim clock so zero-block objects still take a well-defined path.
     if entry.num_blocks == 0:  # pragma: no cover - num_blocks is always >= 1
         yield sim.timeout(0)

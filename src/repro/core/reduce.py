@@ -522,24 +522,33 @@ class ReduceExecution:
                 state.stream_processes.append(proc)
 
             inputs = [own_entry] + stagings
-            for block_index in range(output.num_blocks):
-                for entry in inputs:
-                    if entry.blocks_ready <= block_index:
-                        yield self._race_own_failure(
-                            entry.wait_for_blocks(block_index + 1), node
-                        )
-                        if not node.alive:
-                            return
-                nbytes = config.block_bytes(output.size, block_index)
-                compute_time = config.reduce_compute_time(nbytes) * max(1, len(inputs) - 1)
-                if compute_time > 0:
-                    yield self.sim.timeout(compute_time)
-                output.mark_block_ready(block_index)
+            # Reference the partials this slot is actively producing so a
+            # capacity-limited store never evicts them mid-reduce.
+            guarded = [output] + stagings
+            for entry in guarded:
+                entry.ref_count += 1
+            try:
+                for block_index in range(output.num_blocks):
+                    for entry in inputs:
+                        if entry.blocks_ready <= block_index:
+                            yield self._race_own_failure(
+                                entry.wait_for_blocks(block_index + 1), node
+                            )
+                            if not node.alive:
+                                return
+                    nbytes = config.block_bytes(output.size, block_index)
+                    compute_time = config.reduce_compute_time(nbytes) * max(1, len(inputs) - 1)
+                    if compute_time > 0:
+                        yield self.sim.timeout(compute_time)
+                    output.mark_block_ready(block_index)
 
-            payloads = [own_entry.payload]
-            for child, staging in zip(child_states, stagings):
-                payloads.append(staging.payload)
-            output.seal(self.op.combine_many(payloads))
+                payloads = [own_entry.payload]
+                for child, staging in zip(child_states, stagings):
+                    payloads.append(staging.payload)
+                output.seal(self.op.combine_many(payloads))
+            finally:
+                for entry in guarded:
+                    entry.ref_count -= 1
 
             if is_root:
                 yield from runtime.directory.publish_complete(
@@ -577,24 +586,30 @@ class ReduceExecution:
                 )
             parent_node = parent_state.host
             same_node = child_node.node_id == parent_node.node_id
-            while staging.blocks_ready < staging.num_blocks:
-                block_index = staging.blocks_ready
+            # Reference the child's output while streaming from it so a
+            # capacity-limited child store cannot evict it mid-stream.
+            child_entry.ref_count += 1
+            try:
+                while staging.blocks_ready < staging.num_blocks:
+                    block_index = staging.blocks_ready
+                    yield self._race_peer_failure(
+                        child_entry.wait_for_blocks(block_index + 1), child_node, parent_node
+                    )
+                    if not child_node.alive or not parent_node.alive:
+                        raise TransferError("peer failed during reduce stream", node=child_node)
+                    nbytes = config.block_bytes(staging.size, block_index)
+                    if same_node:
+                        yield from local_copy_block(config, parent_node, nbytes)
+                    else:
+                        yield from transfer_block(config, child_node, parent_node, nbytes)
+                    staging.mark_block_ready(block_index)
                 yield self._race_peer_failure(
-                    child_entry.wait_for_blocks(block_index + 1), child_node, parent_node
+                    child_entry.wait_sealed(), child_node, parent_node
                 )
-                if not child_node.alive or not parent_node.alive:
-                    raise TransferError("peer failed during reduce stream", node=child_node)
-                nbytes = config.block_bytes(staging.size, block_index)
-                if same_node:
-                    yield from local_copy_block(config, parent_node, nbytes)
-                else:
-                    yield from transfer_block(config, child_node, parent_node, nbytes)
-                staging.mark_block_ready(block_index)
-            yield self._race_peer_failure(
-                child_entry.wait_sealed(), child_node, parent_node
-            )
-            if child_entry.sealed:
-                staging.seal(child_entry.payload)
+                if child_entry.sealed:
+                    staging.seal(child_entry.payload)
+            finally:
+                child_entry.ref_count -= 1
         except Interrupt:
             return
         except TransferError:

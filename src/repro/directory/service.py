@@ -224,22 +224,48 @@ class ObjectDirectory:
 
     # -- broadcast coordination ---------------------------------------------------
     def _dependency_chain(self, record: DirectoryRecord, node_id: int) -> set[int]:
-        """Follow the ``upstream`` pointers from ``node_id``."""
+        """Follow the ``upstream`` pointers from ``node_id``.
+
+        Checked-out sources are removed from ``locations`` while they serve a
+        receiver, but their upstream pointers must stay visible here: a chain
+        that silently ends at a checked-out node would let two receivers pick
+        each other's partials as sources and deadlock with neither able to
+        make progress (each waiting for blocks only the other could produce).
+        """
+        view = dict(record.locations)
+        for info in record.checked_out.values():
+            view.setdefault(info.node_id, info)
         chain: set[int] = set()
         current: Optional[int] = node_id
         while current is not None and current not in chain:
             chain.add(current)
-            info = record.locations.get(current)
+            info = view.get(current)
             current = info.upstream if info is not None else None
         return chain
 
+    def _is_excluded(self, node_id: int, exclude) -> bool:
+        """Whether ``node_id`` is ruled out by the requester's exclusion set.
+
+        ``exclude`` is either a plain iterable of node ids (excluded
+        unconditionally) or a mapping ``node_id -> incarnation`` recorded
+        when that source failed the requester: the node stays excluded only
+        while its incarnation has not advanced, so a source that recovers
+        (and re-publishes the object) becomes eligible again even for a
+        requester already parked inside :meth:`acquire_transfer_source`.
+        """
+        if isinstance(exclude, dict):
+            incarnation = exclude.get(node_id)
+            if incarnation is None:
+                return False
+            return self.cluster.nodes[node_id].incarnation <= incarnation
+        return node_id in set(exclude)
+
     def _eligible_sources(
-        self, record: DirectoryRecord, requester_id: int, exclude: Iterable[int]
+        self, record: DirectoryRecord, requester_id: int, exclude
     ) -> list[LocationInfo]:
-        excluded = set(exclude)
         sources = []
         for info in record.locations.values():
-            if info.node_id == requester_id or info.node_id in excluded:
+            if info.node_id == requester_id or self._is_excluded(info.node_id, exclude):
                 continue
             node = self.cluster.nodes[info.node_id]
             if not node.alive:
@@ -249,15 +275,22 @@ class ObjectDirectory:
             if requester_id in self._dependency_chain(record, info.node_id):
                 continue
             sources.append(info)
-        # Prefer complete copies over partial ones.
-        sources.sort(key=lambda info: (not info.complete, info.node_id))
+        # Prefer complete copies over partial ones, then idle uplinks over
+        # busy ones: when many objects disseminate concurrently (allgather,
+        # alltoall) this spreads the transfers across distinct senders
+        # instead of convoying them through the lowest-numbered node.
+        def _load(info: LocationInfo) -> int:
+            uplink = self.cluster.nodes[info.node_id].uplink
+            return uplink.in_use + uplink.queue_length
+
+        sources.sort(key=lambda info: (not info.complete, _load(info), info.node_id))
         return sources
 
     def acquire_transfer_source(
         self,
         requester: Node,
         object_id: ObjectID,
-        exclude: Iterable[int] = (),
+        exclude: Iterable[int] | dict[int, int] = (),
     ) -> Generator:
         """Pick a source to fetch the object from, per the broadcast protocol.
 
@@ -265,6 +298,10 @@ class ObjectDirectory:
         source from the location table (so it serves one receiver at a time)
         and registers the requester as a partial location whose upstream is
         the chosen source.  Returns the chosen :class:`LocationInfo`.
+
+        ``exclude`` may be a ``node_id -> incarnation`` mapping (see
+        :meth:`_is_excluded`); eligibility is re-evaluated every time the
+        record changes, so exclusions lapse when excluded nodes recover.
         """
         yield from self._rpc(requester, object_id)
         self.lookup_count += 1

@@ -104,6 +104,18 @@ class StoredObject:
                 remaining.append((threshold, event))
         self._progress_waiters = remaining
 
+    @property
+    def has_waiters(self) -> bool:
+        """True while some process waits on this copy's progress or seal.
+
+        Used by the eviction policy: evicting a partial copy someone is
+        streaming from would leave its ``_progress_waiters`` pending forever,
+        so such copies are not eviction candidates.
+        """
+        if any(not event.triggered for _, event in self._progress_waiters):
+            return True
+        return bool(self._sealed_event.callbacks) and not self._sealed_event.triggered
+
     def wait_for_blocks(self, count: int) -> Event:
         """An event that fires once at least ``count`` blocks are present."""
         event = Event(self.sim)
@@ -241,14 +253,26 @@ class LocalObjectStore:
             self.evictions += 1
 
     def _pick_eviction_victim(self) -> Optional[StoredObject]:
-        candidates = [
-            entry
-            for entry in self.objects.values()
-            if not entry.pinned and entry.sealed and entry.ref_count == 0
-        ]
-        if not candidates:
+        """LRU over unpinned, unreferenced copies.
+
+        Sealed copies go first (they can always be re-fetched through the
+        directory).  A *partial* copy is evictable only while nothing waits
+        on its progress: evicting a copy with pending ``_progress_waiters``
+        would wedge the transfers streaming out of it.
+        """
+        sealed: list[StoredObject] = []
+        idle_partials: list[StoredObject] = []
+        for entry in self.objects.values():
+            if entry.pinned or entry.ref_count != 0:
+                continue
+            if entry.sealed:
+                sealed.append(entry)
+            elif not entry.has_waiters:
+                idle_partials.append(entry)
+        pool = sealed or idle_partials
+        if not pool:
             return None
-        return min(candidates, key=lambda entry: entry.last_access)
+        return min(pool, key=lambda entry: entry.last_access)
 
     # -- failure handling ---------------------------------------------------------
     def _on_node_failure(self, node: Node) -> None:

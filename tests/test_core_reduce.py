@@ -96,6 +96,30 @@ def test_time_model_limits():
     assert reduce_time_model(1, 2, nbytes, latency, bandwidth) == pytest.approx(latency)
 
 
+@settings(max_examples=200, deadline=None)
+@given(
+    num_objects=st.integers(min_value=2, max_value=512),
+    size_exp=st.floats(min_value=0.0, max_value=33.0),     # 1 B .. 8 GB
+    latency_exp=st.floats(min_value=-6.0, max_value=-1.0),  # 1 us .. 100 ms
+    bandwidth_exp=st.floats(min_value=6.0, max_value=11.0),  # 1 MB/s .. 100 GB/s
+)
+def test_choose_degree_is_bruteforce_argmin(num_objects, size_exp, latency_exp, bandwidth_exp):
+    """Property: the selected degree achieves the brute-force minimum of the
+    Equation 1 model over the paper's candidate set d in {1, 2, n}."""
+    object_size = 2.0 ** size_exp
+    latency = 10.0 ** latency_exp
+    bandwidth = 10.0 ** bandwidth_exp
+    chosen = choose_reduce_degree(num_objects, object_size, latency, bandwidth)
+    assert chosen in (1, 2, num_objects)
+    chosen_candidate = 0 if chosen == num_objects else chosen
+    chosen_time = reduce_time_model(num_objects, chosen_candidate, object_size, latency, bandwidth)
+    best_time = min(
+        reduce_time_model(num_objects, candidate, object_size, latency, bandwidth)
+        for candidate in (1, 2, 0)
+    )
+    assert chosen_time <= best_time * (1.0 + 1e-12)
+
+
 def test_choose_reduce_degree_extremes_and_candidates():
     latency, bandwidth = 5e-5, 1.25e9
     assert choose_reduce_degree(16, 1 * KB, latency, bandwidth) == 16

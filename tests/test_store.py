@@ -152,6 +152,116 @@ def test_pin_and_unpin_api(store):
     assert not local.get_entry(object_id).pinned
 
 
+def test_eviction_prefers_sealed_over_idle_partial():
+    cluster = Cluster(num_nodes=1, network=NetworkConfig(block_size=MB))
+    local = LocalObjectStore(cluster.node(0), cluster.config, capacity_bytes=2 * MB)
+    partial = local.create(ObjectID.of("partial"), MB)
+    partial.mark_block_ready(0)  # still unsealed
+    cluster.sim._now = 5.0
+    local.put_complete(ObjectID.of("sealed"), ObjectValue.of_size(MB), pin=False)
+    # The sealed copy is evicted even though the partial is older (LRU).
+    local.put_complete(ObjectID.of("incoming"), ObjectValue.of_size(MB), pin=False)
+    assert ObjectID.of("sealed") not in local
+    assert ObjectID.of("partial") in local
+
+
+def test_idle_unpinned_partial_is_evictable():
+    cluster = Cluster(num_nodes=1, network=NetworkConfig(block_size=MB))
+    local = LocalObjectStore(cluster.node(0), cluster.config, capacity_bytes=2 * MB)
+    partial = local.create(ObjectID.of("partial"), MB)
+    partial.mark_block_ready(0)
+    local.put_complete(ObjectID.of("pinned"), ObjectValue.of_size(MB), pin=True)
+    local.put_complete(ObjectID.of("incoming"), ObjectValue.of_size(MB), pin=False)
+    assert ObjectID.of("partial") not in local
+    assert local.evictions == 1
+
+
+def test_partial_with_progress_waiters_is_not_evicted():
+    """Evicting a partial someone streams from would wedge its waiters."""
+    cluster = Cluster(num_nodes=1, network=NetworkConfig(block_size=MB))
+    local = LocalObjectStore(cluster.node(0), cluster.config, capacity_bytes=3 * MB)
+    sim = cluster.sim
+
+    hot = local.create(ObjectID.of("hot-partial"), 2 * MB)
+    hot.mark_block_ready(0)
+    observed = []
+
+    def consumer():
+        yield hot.wait_for_blocks(2)
+        observed.append(sim.now)
+
+    sim.process(consumer())
+    cluster.run()  # park the consumer on the progress waiter
+    assert hot.has_waiters
+
+    # The store is full of a waited-on partial: inserting more must fail
+    # loudly rather than silently evicting it and wedging the consumer.
+    with pytest.raises(MemoryError):
+        local.create(ObjectID.of("incoming"), 2 * MB)
+    assert ObjectID.of("hot-partial") in local
+
+    # Once the partial completes, the waiter fires and (sealed, unpinned)
+    # the copy becomes an ordinary eviction candidate.
+    hot.mark_block_ready(1)
+    hot.seal()
+    cluster.run()
+    assert observed and not hot.has_waiters
+    local.create(ObjectID.of("incoming"), 2 * MB)
+    assert ObjectID.of("hot-partial") not in local
+
+
+def test_inflight_fetch_partial_is_not_evicted():
+    """A receive partial being written by a fetch is referenced, not idle.
+
+    Progress waiters live on the *source* entry during a fetch, so without
+    the fetch holding a reference the destination partial would look
+    evictable and the fetch would keep writing into a detached object.
+    """
+    from repro.core import HopliteRuntime
+
+    cluster = Cluster(
+        num_nodes=2, network=NetworkConfig(bandwidth=1.25e7, block_size=MB)
+    )
+    runtime = HopliteRuntime(cluster, store_capacity_bytes=4 * MB)
+    sim = cluster.sim
+    object_id = ObjectID.of("big")
+
+    def producer():
+        yield from runtime.client(0).put(object_id, ObjectValue.of_size(4 * MB))
+
+    def consumer():
+        yield from runtime.client(1).get(object_id)
+
+    checked = {}
+
+    def saboteur():
+        yield sim.timeout(0.2)  # mid-fetch: ~0.33 s total at 12.5 MB/s
+        store = runtime.store(1)
+        entry = store.try_get_entry(object_id)
+        assert entry is not None and not entry.sealed
+        assert entry.ref_count > 0
+        with pytest.raises(MemoryError):
+            store.create(ObjectID.of("pressure"), 4 * MB)
+        checked["done"] = True
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.process(saboteur())
+    cluster.run(until=30.0)
+    assert checked.get("done")
+    assert runtime.store(1).contains_complete(object_id)
+
+
+def test_sealed_waiter_blocks_eviction_until_sealed():
+    cluster = Cluster(num_nodes=1, network=NetworkConfig(block_size=MB))
+    local = LocalObjectStore(cluster.node(0), cluster.config, capacity_bytes=MB)
+    entry = local.create(ObjectID.of("x"), MB)
+    entry.wait_sealed()
+    assert entry.has_waiters
+    with pytest.raises(MemoryError):
+        local.create(ObjectID.of("y"), MB)
+
+
 def test_node_failure_clears_store(store):
     local, cluster = store
     local.put_complete(ObjectID.of("x"), ObjectValue.of_size(MB))
