@@ -48,6 +48,7 @@ from repro.net.failure import FailureEvent
 from repro.net.failure import schedule as _install_failures
 from repro.net.transport import TransferError, transfer_bytes
 from repro.store.objects import ObjectID, ObjectValue, ReduceOp
+from repro.tasksys import CollectiveOrchestrator, CollectiveSpec, TaskSystem
 
 SUPPORTED_SYSTEMS = (
     "hoplite",
@@ -548,6 +549,10 @@ def _run_static_with_restarts(
             while not all(node.alive for node in cluster.nodes):
                 dead = next(node for node in cluster.nodes if not node.alive)
                 yield dead.recovery_event()
+            # The launcher pays one failure-detection delay before it can
+            # observe the rejoin and respawn the job — the same delay the
+            # object planes' task resubmission pays.
+            yield sim.timeout(cluster.config.failure_detection_delay)
 
     sim.process(_job(), name="static-job")
     sim.run()
@@ -645,6 +650,164 @@ def measure_allgather(
     if len(finish_times) != num_nodes:
         raise RuntimeError("allgather did not complete (unrecovered failure?)")
     return max(finish_times)
+
+
+def _driver_failure_spec(
+    collective: str, num_nodes: int, nbytes: int, tag: str
+) -> CollectiveSpec:
+    """Build the durable spec for one driver-failure measurement."""
+    participants = list(range(num_nodes))
+    value = lambda: ObjectValue.of_size(nbytes)  # noqa: E731
+    if collective == "broadcast":
+        return CollectiveSpec.broadcast(
+            tag, 0, participants, ObjectID.unique(f"{tag}-obj"), value()
+        )
+    if collective in ("reduce", "allreduce"):
+        sources = {i: ObjectID.unique(f"{tag}-src{i}") for i in participants}
+        return CollectiveSpec.reduce(
+            tag,
+            0,
+            participants,
+            sources,
+            ObjectID.unique(f"{tag}-target"),
+            {sources[i]: value() for i in participants},
+            ReduceOp.SUM,
+            allreduce=collective == "allreduce",
+        )
+    if collective == "allgather":
+        sources = {i: ObjectID.unique(f"{tag}-src{i}") for i in participants}
+        return CollectiveSpec.allgather(
+            tag, participants, sources, {sources[i]: value() for i in participants}
+        )
+    if collective == "reduce_scatter":
+        matrix = {
+            (i, j): ObjectID.unique(f"{tag}-{i}-{j}")
+            for i in participants
+            for j in participants
+        }
+        targets = {j: ObjectID.unique(f"{tag}-shard{j}") for j in participants}
+        return CollectiveSpec.reduce_scatter(
+            tag,
+            participants,
+            matrix,
+            targets,
+            {object_id: value() for object_id in matrix.values()},
+        )
+    if collective == "alltoall":
+        matrix = {
+            (src, dst): ObjectID.unique(f"{tag}-{src}-{dst}")
+            for src in participants
+            for dst in participants
+            if src != dst
+        }
+        return CollectiveSpec.alltoall(
+            tag, participants, matrix, {object_id: value() for object_id in matrix.values()}
+        )
+    raise UnsupportedScenarioError(f"unknown collective {collective!r}")
+
+
+def measure_driver_failure(
+    system: str,
+    num_nodes: int,
+    nbytes: int,
+    collective: str = "allreduce",
+    fail_at: Optional[float] = None,
+    fail_fraction: Optional[float] = None,
+    downtime: float = 0.5,
+    budget: float = 600.0,
+    network: Optional[NetworkConfig] = None,
+    options: Optional[HopliteOptions] = None,
+) -> float:
+    """Completion time of one collective whose **caller/root node dies**.
+
+    Node 0 — the root of the rooted collectives and rank 0 of the symmetric
+    ones — fails at ``fail_at`` and recovers ``downtime`` seconds later
+    (``fail_at=None`` runs failure-free, the baseline).  ``fail_fraction``
+    calibrates the failure to land mid-collective: the scenario first runs
+    failure-free to learn the system's own duration, then kills the root at
+    that fraction of it (the simulation is deterministic, so the calibration
+    run is exact).
+
+    The object planes run the collective through the
+    :class:`~repro.tasksys.orchestrator.CollectiveOrchestrator`: every share
+    is a lineage-recorded driver task, the root share migrates to an alive
+    node, and re-executions adopt surviving partials through the directory —
+    so recovery costs roughly one failure-detection delay plus the lost
+    share's work.  The static systems model the MPI failure semantics: the
+    job aborts and the launcher restarts the whole collective from scratch
+    once every node is back, so their recovery time is bounded below by the
+    downtime plus a full re-run.
+    """
+    _check_system(system)
+    network = network or NetworkConfig()
+    if system == "optimal":
+        raise UnsupportedScenarioError("driver failure has no analytic optimum")
+    if num_nodes < 2:
+        raise ValueError("driver-failure scenarios need at least two nodes")
+    if fail_fraction is not None:
+        if fail_at is not None:
+            raise ValueError("pass either fail_at or fail_fraction, not both")
+        if not 0.0 < fail_fraction < 1.0:
+            raise ValueError("fail_fraction must be in (0, 1)")
+        baseline = measure_driver_failure(
+            system,
+            num_nodes,
+            nbytes,
+            collective=collective,
+            network=network,
+            options=options,
+        )
+        fail_at = fail_fraction * baseline
+
+    cluster = _make_cluster(num_nodes, network)
+    sim = cluster.sim
+    if fail_at is not None:
+        cluster.schedule_failure(0, at=fail_at, recover_at=fail_at + downtime)
+
+    if system in STATIC_SYSTEMS:
+        static_makers = {
+            ("openmpi", "broadcast"): lambda: MPICollectives(cluster).broadcast(
+                nbytes, root=0
+            ),
+            ("openmpi", "reduce"): lambda: MPICollectives(cluster).reduce(nbytes, root=0),
+            ("openmpi", "allreduce"): lambda: MPICollectives(cluster).allreduce(nbytes),
+            ("openmpi", "allgather"): lambda: MPICollectives(cluster).allgather(nbytes),
+            ("openmpi", "alltoall"): lambda: MPICollectives(cluster).alltoall(nbytes),
+            ("gloo", "broadcast"): lambda: GlooCollectives(cluster).broadcast(
+                nbytes, root=0
+            ),
+            ("gloo", "allreduce"): lambda: GlooCollectives(
+                cluster
+            ).allreduce_ring_chunked(nbytes),
+            ("gloo", "allgather"): lambda: GlooCollectives(cluster).allgather(nbytes),
+            ("gloo", "alltoall"): lambda: GlooCollectives(cluster).alltoall(nbytes),
+        }
+        make_op = static_makers.get((system, collective))
+        if make_op is None:
+            raise UnsupportedScenarioError(
+                f"{system!r} does not implement {collective!r}"
+            )
+        return _run_static_with_restarts(cluster, make_op, num_nodes)
+
+    plane = _make_plane(system, cluster, options)
+    task_system = TaskSystem(cluster, plane)
+    orchestrator = CollectiveOrchestrator(task_system)
+    spec = _driver_failure_spec(collective, num_nodes, nbytes, f"drvfail-{system}")
+    finish: dict[str, float] = {}
+
+    def _driver() -> Generator:
+        outcome = yield from orchestrator.invoke(spec)
+        finish["t"] = outcome.completion_time
+
+    sim.process(_driver(), name="driver-failure-scenario")
+    # Bounded: a wedged collective keeps scheduling retry timeouts, so an
+    # unbounded run would spin forever instead of reaching the error below.
+    sim.run(until=budget)
+    if "t" not in finish:
+        raise RuntimeError(
+            f"collective did not complete within {budget} simulated seconds"
+        )
+    return finish["t"]
 
 
 def measure_alltoall(

@@ -73,17 +73,23 @@ class AllToAllExecution:
         self.retries = 0
 
     def run(self) -> Generator:
+        # Row puts and column gets are spawned through the orchestration hook
+        # so a task framework can attribute each in-flight shard transfer to
+        # the owning collective spec.
+        orchestration = self.runtime.orchestration
         workers = [
-            self.sim.process(
+            orchestration.spawn(
                 self._send_one(object_id, value),
                 name=f"alltoall-send-{object_id}-n{self.node.node_id}",
+                owner=object_id,
             )
             for object_id, value in self.sends
         ]
         workers += [
-            self.sim.process(
+            orchestration.spawn(
                 self._recv_one(object_id),
                 name=f"alltoall-recv-{object_id}-n{self.node.node_id}",
+                owner=object_id,
             )
             for object_id in self.recv_ids
         ]

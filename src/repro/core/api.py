@@ -24,7 +24,7 @@ from repro.core.gather import (
     ReduceScatterExecution,
     ReduceScatterResult,
 )
-from repro.core.reduce import ReduceExecution, ReduceResult
+from repro.core.reduce import ReduceResult, adopt_or_create_reduction
 from repro.net.node import Node
 from repro.net.transport import NodeFailedError, local_copy, local_copy_block
 from repro.store.objects import ObjectID, ObjectValue, ReduceOp
@@ -141,6 +141,10 @@ class HopliteClient:
                 result = yield from self.get(object_id, read_only=read_only)
                 return result
 
+        # Record the relay copy with the orchestration layer: this node is
+        # now an adoptable source for the object (broadcast relays in the
+        # ownership table, Section 6).
+        runtime.orchestration.record_copy(object_id, self.node.node_id)
         if not read_only:
             yield from local_copy(self.config, self.node, entry.size)
             value = entry.to_value()
@@ -169,8 +173,13 @@ class HopliteClient:
         Returns a :class:`~repro.core.reduce.ReduceResult`; the reduced object
         itself is obtained with :meth:`get` on ``target_id`` (it lives at the
         reduce tree's root until then).
+
+        The execution's coordination loop runs as a detached driver process
+        (obtained through the runtime's orchestration hook), so the reduce
+        keeps making progress if the calling task dies; a re-executed caller
+        issuing the same Reduce adopts the surviving execution.
         """
-        execution = ReduceExecution(
+        execution = adopt_or_create_reduction(
             self.runtime,
             self.node,
             target_id,

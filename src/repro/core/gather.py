@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Generator, Optional, Sequence
 
-from repro.core.reduce import ReduceExecution, ReduceResult
+from repro.core.reduce import ReduceResult, adopt_or_create_reduction
 from repro.net.node import Node
 from repro.net.transport import NodeFailedError, TransferError
 from repro.store.objects import ObjectID, ObjectValue, ReduceOp
@@ -99,8 +99,12 @@ class AllGatherExecution:
 
     def run(self) -> Generator:
         queue = list(self._fetch_order())
+        # Fetch workers are spawned through the orchestration hook so a task
+        # framework can attribute the relay copies they grow to the owning
+        # collective spec (they are the "broadcast relays" of the ownership
+        # table).
         workers = [
-            self.sim.process(
+            self.runtime.orchestration.spawn(
                 self._fetch_worker(queue),
                 name=f"allgather-w{index}-n{self.node.node_id}",
             )
@@ -174,7 +178,7 @@ class ReduceScatterExecution:
         self.num_objects = num_objects
 
     def run(self) -> Generator:
-        execution = ReduceExecution(
+        execution = adopt_or_create_reduction(
             self.runtime,
             self.node,
             self.target_id,
@@ -183,20 +187,18 @@ class ReduceScatterExecution:
             num_objects=self.num_objects,
         )
         # The Get streams concurrently with the reduce so the shard arrives
-        # block by block as the root produces it.
+        # block by block as the root produces it.  The execution's
+        # coordination loop is a detached driver process: if the caller dies
+        # mid-Get the shard reduction keeps going, and the caller's
+        # lineage-driven re-execution adopts it through the runtime's
+        # active-reduction registry instead of racing a duplicate tree.
         reduce_proc = self.sim.process(
             execution.run(), name=f"reduce-scatter-{self.target_id}"
         )
         try:
             value = yield from self.runtime.client(self.node).get(self.target_id)
         except BaseException:
-            # The caller died mid-Get: stop the coordinator so a framework
-            # retry after the rejoin does not race a zombie execution over
-            # the same target (the already-spawned slot streams drain into
-            # the deterministic same result either way).
-            if reduce_proc.is_alive:
-                reduce_proc.defused = True  # nobody awaits the doomed process
-                reduce_proc.interrupt("reduce-scatter caller failed")
+            reduce_proc.defused = True  # nobody awaits the abandoned waiter
             raise
         result: ReduceResult = yield reduce_proc
         return ReduceScatterResult(

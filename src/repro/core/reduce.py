@@ -195,6 +195,39 @@ def tree_depth(slots: Sequence[TreeSlot]) -> int:
 # ---------------------------------------------------------------------------
 
 
+def adopt_or_create_reduction(
+    runtime: "HopliteRuntime",
+    caller: Node,
+    target_id: ObjectID,
+    source_ids: Sequence[ObjectID],
+    op: ReduceOp,
+    num_objects: Optional[int] = None,
+) -> "ReduceExecution":
+    """The execution for ``target_id``: the surviving one, or a fresh one.
+
+    A re-executed caller (Section 6 lineage re-execution) that issues the
+    same Reduce again while the previous invocation's detached driver is
+    still alive must *adopt* the surviving tree — its partials keep
+    streaming — rather than race a duplicate tree over the same target.
+    Only an execution with the same sources and operator is adoptable; an
+    aborted or mismatched one is replaced.
+    """
+    existing = runtime.active_reductions.get(target_id)
+    if (
+        isinstance(existing, ReduceExecution)
+        and not existing.aborted
+        and existing.op is op
+        and list(existing.source_ids) == list(source_ids)
+        and existing.num_objects
+        == (num_objects if num_objects is not None else len(list(source_ids)))
+    ):
+        runtime.reduce_adoptions += 1
+        return existing
+    return ReduceExecution(
+        runtime, caller, target_id, source_ids, op, num_objects=num_objects
+    )
+
+
 @dataclass
 class ReduceResult:
     """Outcome of a completed Reduce call."""
@@ -260,11 +293,16 @@ class _SlotState:
 class ReduceExecution:
     """Coordinator for one Reduce call.
 
-    Created by :meth:`HopliteClient.reduce`; the :meth:`run` generator is the
-    coordinator process.  The coordinator assigns arriving objects to tree
-    slots, spawns the per-slot streaming reduce processes, repairs the tree on
-    node failures, and finishes when the root's output (the target object) is
-    sealed and published.
+    Created by :meth:`HopliteClient.reduce`.  The coordination loop — watch
+    sources, assign arrivals to tree slots, spawn the per-slot streaming
+    reduce processes, repair the tree on node failures — runs as a *detached
+    driver process* obtained through the runtime's orchestration hook, so it
+    survives the death of the calling task (Section 6: the caller is
+    re-executed from lineage, but the collective keeps making progress in
+    the meantime).  :meth:`run` merely waits for completion and is
+    re-entrant: a re-executed caller that finds this execution still in
+    ``runtime.active_reductions`` adopts it by calling :meth:`run` again
+    instead of racing a duplicate tree over the same target.
     """
 
     def __init__(
@@ -302,42 +340,24 @@ class ReduceExecution:
         self._finished = Event(self.sim)
         self._failure_hooked = False
         self.plan: Optional[ReducePlan] = None
+        self._driver: Optional[Process] = None
+        self.aborted = False
+        self.abort_reason = ""
 
     # -- public entry point --------------------------------------------------
     def run(self) -> Generator:
-        """Coordinator process body."""
-        for object_id in self.source_ids:
-            self._watch_source(object_id)
+        """Wait for the reduce to complete; starts the driver if needed.
 
-        # Learn the object size from the first ready source, then fix the
-        # degree and the tree shape.
-        first_id = yield from self._next_ready_object()
-        size = self.runtime.directory.known_size(first_id) or 0
-        self.degree = self._select_degree(size)
-        self.tree = build_inorder_tree(self.num_objects, self.degree)
-        self.slots = [_SlotState(slot) for slot in self.tree]
-        self.plan = ReducePlan(
-            target_id=self.target_id,
-            source_ids=list(self.source_ids),
-            op=self.op,
-            num_objects=self.num_objects,
-            degree=self.degree,
-            slots=self.tree,
-        )
-        self._hook_failures()
-
-        self._assign(self._next_unassigned_slot(), first_id)
-        # Keep assigning ready objects to the remaining slots as they arrive.
-        while self._next_unassigned_slot() is not None:
-            object_id = yield from self._next_ready_object()
-            slot = self._next_unassigned_slot()
-            if slot is None:
-                self._ready_queue.insert(0, object_id)
-                break
-            self._assign(slot, object_id)
-
+        Re-entrant: every caller — the original one and any re-executed
+        caller adopting this execution — gets the same result.
+        """
+        self._ensure_driver()
         # Wait for the root's output to be sealed and published.
         yield self._finished
+        if self.aborted:
+            raise TransferError(
+                f"reduce toward {self.target_id} was aborted: {self.abort_reason}"
+            )
         root = self._root_slot()
         reduced = sorted(
             (state.object_id for state in self.slots if state.object_id is not None),
@@ -352,6 +372,83 @@ class ReduceExecution:
             root_node_id=root.host.node_id if root.host is not None else -1,
             completion_time=self.sim.now,
         )
+
+    def _ensure_driver(self) -> None:
+        """Start the detached coordination process (once) and register it."""
+        if self._driver is not None or self._finished.triggered:
+            return
+        registry = self.runtime.active_reductions
+        registry[self.target_id] = self
+
+        def _deregister(_event) -> None:
+            if registry.get(self.target_id) is self:
+                del registry[self.target_id]
+
+        self._finished.add_callback(_deregister)
+        self._driver = self.runtime.orchestration.spawn(
+            self._drive(),
+            name=f"reduce-drive-{self.target_id}",
+            owner=self.target_id,
+        )
+
+    def _drive(self) -> Generator:
+        """The detached coordination loop (watch → shape → assign → repair)."""
+        try:
+            for object_id in self.source_ids:
+                self._watch_source(object_id)
+
+            # Learn the object size from the first ready source, then fix the
+            # degree and the tree shape.
+            first_id = yield from self._next_ready_object()
+            size = self.runtime.directory.known_size(first_id) or 0
+            self.degree = self._select_degree(size)
+            self.tree = build_inorder_tree(self.num_objects, self.degree)
+            self.slots = [_SlotState(slot) for slot in self.tree]
+            self.plan = ReducePlan(
+                target_id=self.target_id,
+                source_ids=list(self.source_ids),
+                op=self.op,
+                num_objects=self.num_objects,
+                degree=self.degree,
+                slots=self.tree,
+            )
+            self._hook_failures()
+
+            self._assign(self._next_unassigned_slot(), first_id)
+            # Keep assigning ready objects to the remaining slots as they arrive.
+            while self._next_unassigned_slot() is not None:
+                object_id = yield from self._next_ready_object()
+                slot = self._next_unassigned_slot()
+                if slot is None:
+                    self._ready_queue.insert(0, object_id)
+                    break
+                self._assign(slot, object_id)
+        except Interrupt:
+            return
+        except Exception as exc:  # noqa: BLE001 - nobody awaits this process
+            # The driver is detached: an escaping exception would strand
+            # every waiter in run() forever.  Turn it into an abort so
+            # waiters observe a TransferError and can retry.
+            self.abort(f"driver error: {exc!r}")
+
+    def abort(self, reason: str = "") -> None:
+        """Tear the execution down and release everything it holds.
+
+        Called by the task framework when the computation that owns this
+        reduce is abandoned (exhausted ``max_restarts``): the driver and all
+        slot/stream processes are interrupted — their cleanup handlers drop
+        the reference counts they hold on partials — and waiters in
+        :meth:`run` observe a :class:`TransferError`.
+        """
+        if self._finished.triggered:
+            return
+        self.aborted = True
+        self.abort_reason = reason or "aborted"
+        if self._driver is not None and self._driver.is_alive:
+            self._driver.interrupt("reduce aborted")
+        for state in self.slots:
+            self._teardown_slot(state)
+        self._finished.succeed(None)
 
     # -- degree / shape --------------------------------------------------------
     def _select_degree(self, size: int) -> int:
@@ -473,12 +570,16 @@ class ReduceExecution:
             store.delete(output_id)
             entry = store.create(output_id, size)
         state.output_entry = entry
+        self.runtime.orchestration.record_partial(
+            self.target_id, output_id, state.host.node_id
+        )
 
     # -- slot processes -------------------------------------------------------------
     def _spawn_slot_process(self, state: _SlotState) -> None:
-        state.process = self.sim.process(
+        state.process = self.runtime.orchestration.spawn(
             self._run_slot(state, state.generation),
             name=f"reduce-slot-{self.target_id}-r{state.rank}",
+            owner=self.target_id,
         )
 
     def _run_slot(self, state: _SlotState, generation: int) -> Generator:
@@ -513,11 +614,15 @@ class ReduceExecution:
                     output.size,
                 )
                 stagings.append(staging)
-                proc = self.sim.process(
+                runtime.orchestration.record_partial(
+                    self.target_id, staging.object_id, node.node_id
+                )
+                proc = runtime.orchestration.spawn(
                     self._stream_child(state, child, staging),
                     name=(
                         f"reduce-stream-{self.target_id}-r{state.rank}-c{child.rank}"
                     ),
+                    owner=self.target_id,
                 )
                 state.stream_processes.append(proc)
 
@@ -647,6 +752,10 @@ class ReduceExecution:
         """Replace failed slots and restart their ancestors (Section 3.5.2)."""
         # Give in-flight transfers one scheduling round to observe the failure.
         yield self.sim.timeout(0)
+        if self._finished.triggered:
+            # Finished or aborted while this repair was queued; re-spawning
+            # slots now would leak processes and reference counts.
+            return
         to_restart: set[int] = set()
         for state in failed_states:
             if state.object_id is not None:
@@ -680,6 +789,8 @@ class ReduceExecution:
         for state in failed_states:
             while not state.assigned:
                 object_id = yield from self._next_ready_object()
+                if self._finished.triggered:
+                    return
                 if state.assigned:
                     self._ready_queue.insert(0, object_id)
                     break

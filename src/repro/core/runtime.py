@@ -32,6 +32,37 @@ class NodeObjectManager:
         self.inflight_fetches.clear()
 
 
+class LocalOrchestration:
+    """Default (framework-less) orchestration hook.
+
+    Collective executions route their internal driver processes and
+    intermediate-object records through ``runtime.orchestration`` so that a
+    task framework can observe them.  Without a framework attached, spawning
+    falls through to anonymous simulation processes and the ownership
+    records are dropped — exactly the pre-orchestration behaviour.
+    """
+
+    def __init__(self, sim):
+        self.sim = sim
+
+    def spawn(self, generator, name: str = "", owner: Optional[ObjectID] = None) -> Process:
+        """Spawn a collective-internal driver process.
+
+        ``owner`` names the object (usually the collective target) the
+        process works toward; a recording orchestration uses it to attribute
+        the process — and the partials it creates — to a collective spec.
+        """
+        return self.sim.process(generator, name=name)
+
+    def record_partial(
+        self, parent_id: ObjectID, partial_id: ObjectID, node_id: Optional[int] = None
+    ) -> None:
+        """An execution materialized an internal object derived from ``parent_id``."""
+
+    def record_copy(self, object_id: ObjectID, node_id: int) -> None:
+        """A receiver-driven fetch grew a relay copy of ``object_id``."""
+
+
 class HopliteRuntime:
     """One Hoplite deployment on a simulated cluster.
 
@@ -60,6 +91,16 @@ class HopliteRuntime:
             node.node_id: NodeObjectManager(node) for node in cluster.nodes
         }
         self._clients: dict[int, "HopliteClient"] = {}
+        #: the orchestration hook; a task framework (the collective
+        #: orchestrator) replaces this with a recording implementation.
+        self.orchestration = LocalOrchestration(self.sim)
+        #: target ObjectID -> the in-flight ReduceExecution driving it.
+        #: Entries deregister when the execution finishes or aborts, so a
+        #: lookup hit always means "this target is still being produced" and
+        #: a re-invoking caller can adopt it instead of racing a duplicate.
+        self.active_reductions: dict[ObjectID, object] = {}
+        #: number of Reduce calls answered by adopting an in-flight execution.
+        self.reduce_adoptions = 0
 
     # -- accessors -------------------------------------------------------------
     def store(self, node: Node | int) -> LocalObjectStore:

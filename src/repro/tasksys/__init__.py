@@ -8,7 +8,26 @@ task reconstruction on node failure (Section 2.1).  Applications in
 the Hoplite plane or the naive Ray/Dask-style plane.
 """
 
+from repro.tasksys.lineage import (
+    CollectiveSpec,
+    LineageLog,
+    OwnedObject,
+    OwnershipTable,
+)
+from repro.tasksys.orchestrator import CollectiveOrchestrator, CollectiveOutcome
 from repro.tasksys.refs import ObjectRef
 from repro.tasksys.system import TaskContext, TaskError, TaskSpec, TaskSystem
 
-__all__ = ["ObjectRef", "TaskContext", "TaskError", "TaskSpec", "TaskSystem"]
+__all__ = [
+    "CollectiveOrchestrator",
+    "CollectiveOutcome",
+    "CollectiveSpec",
+    "LineageLog",
+    "ObjectRef",
+    "OwnedObject",
+    "OwnershipTable",
+    "TaskContext",
+    "TaskError",
+    "TaskSpec",
+    "TaskSystem",
+]

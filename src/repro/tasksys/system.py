@@ -13,6 +13,28 @@ The model follows Section 2.1 of the paper:
   finished objects whose only copy lived there are reconstructed by
   re-executing their producer task (lineage), after a failure-detection
   delay — well-behaving tasks never roll back.
+
+For the collective orchestration layer (Section 6) the system additionally
+supports:
+
+* **idempotent re-submission by key and incarnation** — submitting a task
+  with the same ``(key, incarnation)`` returns the existing record instead
+  of duplicating it, so a recovery path that re-submits a collective's task
+  set adopts the surviving tasks; a *higher* incarnation supersedes the old
+  record (a deliberate fresh execution);
+* **strict placement** — a task pinned to a rank's node waits for that node
+  to recover instead of migrating, because a participant's share of a
+  collective must produce its objects *on* that participant's node;
+* **output adoption** — a re-executed task whose output already exists as a
+  complete copy on an alive node (checked through the directory) finishes
+  immediately instead of redoing the work, which is how a restarted
+  root/caller adopts partials that completed during the failure-detection
+  delay;
+* **resource release on permanent failure** — a task that exhausts
+  ``max_restarts`` mid-collective releases the store pins and plane
+  reference counts it still holds (and aborts any reduce execution it
+  started), so the object store can evict what the dead computation left
+  behind.
 """
 
 from __future__ import annotations
@@ -53,6 +75,13 @@ class TaskSpec:
     name: str = ""
     node_hint: Optional[int] = None
     max_restarts: int = 10
+    #: idempotency key: re-submitting the same (key, incarnation) adopts the
+    #: existing record instead of duplicating the task.
+    key: Optional[str] = None
+    incarnation: int = 0
+    #: "soft" tasks migrate to any alive node on re-execution; "strict" tasks
+    #: are pinned to ``node_hint`` and wait for it to recover.
+    placement: str = "soft"
 
     def describe(self) -> str:
         return self.name or getattr(self.func, "__name__", f"task-{self.task_id}")
@@ -70,6 +99,12 @@ class TaskRecord:
     process: Optional[Process] = None
     result_size: int = 0
     failure: Optional[BaseException] = None
+    #: (node_id, object_id) pairs this task pinned in a store (its own output
+    #: put plus every ``ctx.put``); released if the task fails permanently.
+    held_objects: list = field(default_factory=list)
+    #: reduce targets this task is driving; their executions are aborted if
+    #: the task fails permanently so slot streams drop their references.
+    reduce_targets: list = field(default_factory=list)
 
 
 class TaskContext:
@@ -93,6 +128,9 @@ class TaskContext:
 
     def put(self, value: ObjectValue, object_id: Optional[ObjectID] = None) -> Generator:
         object_id = object_id or ObjectID.unique(f"task{self.spec.task_id}-out")
+        # Register the pin *before* the copy starts: an interrupted Put has
+        # already created a pinned store entry that must not leak.
+        self.system.note_held_object(self.spec.task_id, self.node.node_id, object_id)
         yield from self.plane.put(self.node, object_id, value)
         return ObjectRef(object_id=object_id, producer_task_id=self.spec.task_id)
 
@@ -100,6 +138,7 @@ class TaskContext:
         source_ids = [
             ref.object_id if isinstance(ref, ObjectRef) else ref for ref in source_refs
         ]
+        self.system.note_reduce_target(self.spec.task_id, target_id)
         result = yield from self.plane.reduce(
             self.node, target_id, source_ids, op, num_objects=num_objects
         )
@@ -131,6 +170,8 @@ class TaskSystem:
         self._task_counter = itertools.count()
         self._rr_counter = itertools.count()
         self.tasks: dict[int, TaskRecord] = {}
+        #: idempotency key -> task id of the live record for that key.
+        self._by_key: dict[str, int] = {}
         #: object id -> producing task id (lineage for reconstruction).
         self.lineage: dict[ObjectID, int] = {}
         self.worker_slots: dict[int, Resource] = {
@@ -151,13 +192,40 @@ class TaskSystem:
         name: str = "",
         output_id: Optional[ObjectID] = None,
         max_restarts: int = 10,
+        key: Optional[str] = None,
+        incarnation: int = 0,
+        placement: str = "soft",
     ) -> ObjectRef:
         """Submit a task; returns the future of its output immediately.
 
         ``func`` is a generator function ``func(ctx, *args, **kwargs)`` whose
         return value is an :class:`ObjectValue` (or ``None``); the system
         stores it under the returned ref's ObjectID.
+
+        When ``key`` is given, submission is idempotent per
+        ``(key, incarnation)``: a duplicate submission returns the existing
+        record's ref (reviving it if it had failed permanently), and a
+        submission with a higher incarnation supersedes the old record.
         """
+        if placement not in ("soft", "strict"):
+            raise ValueError(f"unknown placement {placement!r}")
+        if placement == "strict" and node is None:
+            raise ValueError("strict placement requires a node hint")
+        if key is not None:
+            existing_id = self._by_key.get(key)
+            if existing_id is not None:
+                record = self.tasks[existing_id]
+                if record.spec.incarnation >= incarnation:
+                    if record.status is TaskStatus.FAILED:
+                        self._revive(record)
+                    self.metrics.deduplicated += 1
+                    return ObjectRef(
+                        object_id=record.spec.output_id,
+                        producer_task_id=record.spec.task_id,
+                    )
+                # A higher incarnation supersedes the old record: cancel it
+                # so the two incarnations never run concurrently.
+                self._supersede(record)
         task_id = next(self._task_counter)
         output = output_id or ObjectID.unique(f"task-{task_id}")
         spec = TaskSpec(
@@ -169,16 +237,54 @@ class TaskSystem:
             name=name,
             node_hint=node,
             max_restarts=max_restarts,
+            key=key,
+            incarnation=incarnation,
+            placement=placement,
         )
         record = TaskRecord(spec=spec, finished_event=Event(self.sim))
         self.tasks[task_id] = record
+        if key is not None:
+            self._by_key[key] = task_id
         self.lineage[output] = task_id
         self.metrics.submitted += 1
         self._launch(record)
         return ObjectRef(object_id=output, producer_task_id=task_id)
 
+    def _revive(self, record: TaskRecord) -> None:
+        """Re-launch a permanently failed record for a fresh round of attempts."""
+        record.attempts = 0
+        record.failure = None
+        if record.finished_event is None or record.finished_event.triggered:
+            record.finished_event = Event(self.sim)
+        self._launch(record)
+
+    def _supersede(self, record: TaskRecord) -> None:
+        """Cancel a record that a higher incarnation replaces.
+
+        Marked FAILED *before* the interrupt so the dying process's failure
+        handler sees a finalized record and does not resubmit it.
+        """
+        was_running = record.status in (TaskStatus.PENDING, TaskStatus.RUNNING)
+        if record.status is not TaskStatus.FINISHED:
+            record.status = TaskStatus.FAILED
+            self._release_task_resources(record)
+            if not record.finished_event.triggered:
+                record.finished_event.fail(
+                    TaskError(
+                        f"task {record.spec.describe()} superseded by a newer incarnation"
+                    )
+                )
+                # An expected cancellation, not an error to surface if
+                # nobody happens to be waiting on the old incarnation.
+                record.finished_event.defused = True
+        if was_running and record.process is not None and record.process.is_alive:
+            record.process.interrupt("superseded by a newer incarnation")
+
     # -- scheduling ------------------------------------------------------------------
     def _pick_node(self, spec: TaskSpec) -> Node:
+        if spec.placement == "strict":
+            # Pinned to its rank's node; _execute waits for recovery if down.
+            return self.cluster.nodes[spec.node_hint]
         alive = [node for node in self.cluster.nodes if node.alive]
         if not alive:
             raise TaskError("no alive nodes to schedule on")
@@ -203,9 +309,22 @@ class TaskSystem:
         spec = record.spec
         slot = self.worker_slots[node.node_id].request()
         try:
+            if not node.alive and spec.placement == "strict":
+                # A strict share belongs on this node; wait out the failure.
+                yield node.recovery_event()
             yield slot
             if not node.alive:
                 raise TaskError(f"node {node.node_id} died before task start")
+            if record.attempts > 1 and self._object_available(spec.output_id):
+                # Idempotent re-execution: the previous attempt's output
+                # survived (or completed during the failure-detection delay);
+                # adopt it instead of redoing the work.
+                record.status = TaskStatus.FINISHED
+                self.metrics.adoptions += 1
+                self.metrics.finished += 1
+                if not record.finished_event.triggered:
+                    record.finished_event.succeed(spec.output_id)
+                return
             record.status = TaskStatus.RUNNING
             context = TaskContext(self, node, spec)
             resolved_args = []
@@ -230,6 +349,7 @@ class TaskSystem:
                 )
             if not node.alive:
                 raise TaskError(f"node {node.node_id} died during task")
+            self.note_held_object(spec.task_id, node.node_id, spec.output_id)
             yield from self.plane.put(node, spec.output_id, result)
             record.result_size = result.size
             record.status = TaskStatus.FINISHED
@@ -244,6 +364,10 @@ class TaskSystem:
             self.worker_slots[node.node_id].release(slot)
 
     def _handle_task_failure(self, record: TaskRecord, exc: BaseException) -> None:
+        if record.status is TaskStatus.FAILED:
+            # Already finalized (superseded or permanently failed); the
+            # interrupt that killed the process must not resubmit it.
+            return
         record.failure = exc
         self.metrics.failures += 1
         if record.attempts <= record.spec.max_restarts:
@@ -254,10 +378,71 @@ class TaskSystem:
             )
         else:
             record.status = TaskStatus.FAILED
+            self._release_task_resources(record)
             if not record.finished_event.triggered:
                 record.finished_event.fail(
                     TaskError(f"task {record.spec.describe()} failed permanently: {exc}")
                 )
+
+    # -- resource ledger ----------------------------------------------------------
+    def note_held_object(self, task_id: int, node_id: int, object_id: ObjectID) -> None:
+        """Record that a task pinned ``object_id`` on ``node_id``'s store."""
+        record = self.tasks.get(task_id)
+        if record is not None and (node_id, object_id) not in record.held_objects:
+            record.held_objects.append((node_id, object_id))
+
+    def note_reduce_target(self, task_id: int, target_id: ObjectID) -> None:
+        """Record that a task is driving a reduce toward ``target_id``."""
+        record = self.tasks.get(task_id)
+        if record is not None and target_id not in record.reduce_targets:
+            record.reduce_targets.append(target_id)
+
+    def _release_task_resources(self, record: TaskRecord) -> None:
+        """Release pins and plane references a permanently failed task holds.
+
+        A task that dies mid-collective can leave (a) pinned, possibly
+        unsealed store entries from interrupted ``Put``s and (b) a reduce
+        execution whose slot streams hold reference counts on partials.
+        Both would wedge eviction forever, so the framework cleans them up
+        when it gives up on the task.
+        """
+        runtime = getattr(self.plane, "runtime", None)
+        if runtime is not None:
+            for target_id in record.reduce_targets:
+                execution = runtime.active_reductions.get(target_id)
+                if execution is not None:
+                    execution.abort(f"task {record.spec.describe()} failed permanently")
+                    self.metrics.aborted_reductions += 1
+        for node_id, object_id in record.held_objects:
+            store = None
+            if runtime is not None:
+                store = runtime.stores.get(node_id)
+            if store is None:
+                continue
+            entry = store.objects.get(object_id)
+            if entry is None:
+                continue
+            if self._held_by_another_live_task(record, node_id, object_id):
+                # A sibling task (e.g. a newer incarnation of the same
+                # share) still depends on this copy's pin.
+                continue
+            entry.pinned = False
+            if not entry.sealed and entry.ref_count == 0 and not entry.has_waiters:
+                # An interrupted Put left a partial nobody will ever finish.
+                store.delete(object_id)
+            self.metrics.released_objects += 1
+        record.held_objects = []
+        record.reduce_targets = []
+
+    def _held_by_another_live_task(
+        self, record: TaskRecord, node_id: int, object_id: ObjectID
+    ) -> bool:
+        return any(
+            other is not record
+            and other.status is not TaskStatus.FAILED
+            and (node_id, object_id) in other.held_objects
+            for other in self.tasks.values()
+        )
 
     def _resubmit_after_delay(self, record: TaskRecord) -> Generator:
         yield self.sim.timeout(self.failure_detection_delay)
@@ -338,12 +523,18 @@ class TaskSystem:
                     )
 
     def _object_available_elsewhere(self, object_id: ObjectID, failed_node: Node) -> bool:
+        return self._object_available(object_id, excluding=failed_node.node_id)
+
+    def _object_available(
+        self, object_id: ObjectID, excluding: Optional[int] = None
+    ) -> bool:
+        """True if a complete copy of ``object_id`` lives on an alive node."""
         runtime = getattr(self.plane, "runtime", None)
         if runtime is None:
             return False
         locations = runtime.directory.locations_of(object_id)
         for node_id, info in locations.items():
-            if node_id == failed_node.node_id or not info.complete:
+            if node_id == excluding or not info.complete:
                 continue
             if self.cluster.nodes[node_id].alive:
                 return True
@@ -358,6 +549,14 @@ class TaskSystemMetrics:
     finished: int = 0
     failures: int = 0
     reconstructions: int = 0
+    #: idempotent submissions answered from an existing record.
+    deduplicated: int = 0
+    #: re-executions that adopted a surviving output instead of re-running.
+    adoptions: int = 0
+    #: store entries unpinned/deleted when a task failed permanently.
+    released_objects: int = 0
+    #: reduce executions aborted when their driving task failed permanently.
+    aborted_reductions: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -365,4 +564,8 @@ class TaskSystemMetrics:
             "finished": self.finished,
             "failures": self.failures,
             "reconstructions": self.reconstructions,
+            "deduplicated": self.deduplicated,
+            "adoptions": self.adoptions,
+            "released_objects": self.released_objects,
+            "aborted_reductions": self.aborted_reductions,
         }

@@ -1,21 +1,27 @@
-"""Fault-injection matrix: seeded Poisson failures x collectives x planes.
+"""Fault-injection matrix: seeded Poisson failures x collectives x planes x class.
 
 Every cell runs one collective (broadcast, reduce, allreduce, allgather,
 reduce-scatter, alltoall) over one communication plane (hoplite,
-naive/Ray-style) while a
-seeded :func:`~repro.net.failure.poisson_failures` schedule fails and
-recovers random non-caller nodes.  Assertions:
+naive/Ray-style) at 8 nodes while a seeded
+:func:`~repro.net.failure.poisson_failures` schedule fails and recovers
+random nodes.  Two failure classes are covered:
+
+* **peer** — only non-caller nodes (1..n-1) fail; the collective is driven
+  directly against the plane and rides through with Hoplite's per-transfer
+  recovery plus framework-style reconstruction, exactly as in PR 1;
+* **root** — the caller/root node 0 *also* fails mid-collective (a
+  deterministic kill on top of the Poisson peers).  These cells run through
+  the :class:`~repro.tasksys.orchestrator.CollectiveOrchestrator`: every
+  share is a lineage-recorded driver task, the root share is re-executed on
+  an alive node from the durable spec, and re-executions adopt surviving
+  partials — the paper's Section 6 framework role, now in scope.
+
+Assertions per cell:
 
 * **termination after repair** — every participant's share completes within
-  the simulation budget once the failed nodes have rejoined and the
-  framework (modelled by a reconstructor process) has re-``Put`` the lost
-  source objects;
+  the simulation budget;
 * **result correctness** — the payloads every participant ends up with equal
   the failure-free expectation.
-
-Node 0 never fails: it plays the role of the driver/caller the framework
-would restart at a higher level (the paper's Section 6 delegates that to the
-task framework's lineage mechanism, out of scope here).
 """
 
 import numpy as np
@@ -27,17 +33,18 @@ from repro.collectives.plane import HoplitePlane
 from repro.core.runtime import HopliteRuntime
 from repro.net.cluster import Cluster
 from repro.net.config import NetworkConfig
-from repro.net.failure import poisson_failures, schedule
+from repro.net.failure import FailureEvent, poisson_failures, schedule
 from repro.store.objects import ObjectID, ObjectValue, ReduceOp
+from repro.tasksys import CollectiveOrchestrator, CollectiveSpec, TaskSystem
 
 MB = 1024 * 1024
 
 #: 1 Gbps network so 16 MB transfers take ~0.13 s and the failure schedule
 #: reliably lands mid-collective.
 TEST_NETWORK = dict(bandwidth=1.25e8)
-NUM_NODES = 4
+NUM_NODES = 8
 NBYTES = 16 * MB
-SIM_BUDGET = 120.0
+SIM_BUDGET = 240.0
 
 SYSTEMS = ("hoplite", "naive")
 PRIMITIVES = (
@@ -48,7 +55,13 @@ PRIMITIVES = (
     "reduce_scatter",
     "alltoall",
 )
+FAILURE_CLASSES = ("peer", "root")
 SEEDS = (0, 1)
+
+#: when the root/caller dies in the "root" class: after the first puts have
+#: landed but well before the collective can finish.
+ROOT_FAIL_AT = 0.15
+ROOT_DOWNTIME = 0.25
 
 
 def _make_plane(system, cluster):
@@ -57,7 +70,7 @@ def _make_plane(system, cluster):
     return TaskSystemPlane(cluster, RAY_PROFILE)
 
 
-def _failure_schedule(seed):
+def _failure_schedule(seed, failure_class):
     events = poisson_failures(
         node_ids=list(range(1, NUM_NODES)),
         rate_per_second=4.0,
@@ -66,6 +79,14 @@ def _failure_schedule(seed):
         seed=seed,
     )
     assert events, "failure schedule is empty; pick a different seed"
+    if failure_class == "root":
+        events = list(events) + [
+            FailureEvent(
+                node_id=0,
+                fail_at=ROOT_FAIL_AT,
+                recover_at=ROOT_FAIL_AT + ROOT_DOWNTIME,
+            )
+        ]
     return events
 
 
@@ -79,10 +100,10 @@ def _retrying(cluster, node_id, attempt, on_done):
     on_done(result)
 
 
-def _build(system, seed):
+def _build(system, seed, failure_class="peer"):
     cluster = Cluster(num_nodes=NUM_NODES, network=NetworkConfig(**TEST_NETWORK))
     plane = _make_plane(system, cluster)
-    schedule(cluster, _failure_schedule(seed))
+    schedule(cluster, _failure_schedule(seed, failure_class))
     return cluster, plane
 
 
@@ -90,7 +111,7 @@ def _install_reconstructors(cluster, plane, produced):
     """``produced``: node_id -> list of (ObjectID, ObjectValue) it owns."""
     for node_id, objects in produced.items():
         if node_id == 0 or not objects:
-            continue  # node 0 never fails
+            continue  # node 0 never fails in the peer class
         cluster.sim.process(
             reconstruct_on_recovery(cluster, plane, node_id, objects),
             name=f"reconstruct-{node_id}",
@@ -98,7 +119,7 @@ def _install_reconstructors(cluster, plane, produced):
 
 
 # ---------------------------------------------------------------------------
-# Per-primitive drivers
+# Per-primitive drivers — peer class (direct against the plane, node 0 safe)
 # ---------------------------------------------------------------------------
 
 
@@ -353,9 +374,126 @@ _DRIVERS = {
 }
 
 
+# ---------------------------------------------------------------------------
+# Root class: orchestrator-driven specs + failure-free expectations
+# ---------------------------------------------------------------------------
+
+
+def _spec_and_expected(primitive, tag):
+    """The durable spec for one cell plus the per-rank expected payloads."""
+    ranks = list(range(NUM_NODES))
+    if primitive == "broadcast":
+        spec = CollectiveSpec.broadcast(
+            tag, 0, ranks, ObjectID.unique(f"{tag}-obj"), _value(7.0)
+        )
+        return spec, {rank: 7.0 for rank in ranks[1:]}
+    if primitive in ("reduce", "allreduce"):
+        sources = {i: ObjectID.unique(f"{tag}-src{i}") for i in ranks}
+        spec = CollectiveSpec.reduce(
+            tag,
+            0,
+            ranks,
+            sources,
+            ObjectID.unique(f"{tag}-target"),
+            {sources[i]: _value(i + 1) for i in ranks},
+            ReduceOp.SUM,
+            allreduce=primitive == "allreduce",
+        )
+        expected_sum = float(sum(range(1, NUM_NODES + 1)))
+        holders = ranks if primitive == "allreduce" else [0]
+        return spec, {rank: expected_sum for rank in holders}
+    if primitive == "allgather":
+        sources = {i: ObjectID.unique(f"{tag}-src{i}") for i in ranks}
+        spec = CollectiveSpec.allgather(
+            tag, ranks, sources, {sources[i]: _value(i + 1) for i in ranks}
+        )
+        stacked = np.stack([np.full(4, float(i + 1)) for i in ranks])
+        return spec, {rank: stacked for rank in ranks}
+    if primitive == "reduce_scatter":
+        matrix = {
+            (i, j): ObjectID.unique(f"{tag}-{i}-{j}") for i in ranks for j in ranks
+        }
+        targets = {j: ObjectID.unique(f"{tag}-shard{j}") for j in ranks}
+        spec = CollectiveSpec.reduce_scatter(
+            tag,
+            ranks,
+            matrix,
+            targets,
+            {matrix[(i, j)]: _value(10 * i + j) for i in ranks for j in ranks},
+        )
+        return spec, {
+            j: float(sum(10 * i + j for i in ranks)) for j in ranks
+        }
+    if primitive == "alltoall":
+        matrix = {
+            (src, dst): ObjectID.unique(f"{tag}-{src}-{dst}")
+            for src in ranks
+            for dst in ranks
+            if src != dst
+        }
+        spec = CollectiveSpec.alltoall(
+            tag,
+            ranks,
+            matrix,
+            {matrix[(s, d)]: _value(100 * s + d) for (s, d) in matrix},
+        )
+        return spec, {
+            dst: np.stack(
+                [np.full(4, float(100 * src + dst)) for src in ranks if src != dst]
+            )
+            for dst in ranks
+        }
+    raise ValueError(primitive)
+
+
+def _run_orchestrated(cluster, plane, primitive, tag):
+    """Drive one root-class cell through the collective orchestrator."""
+    system = TaskSystem(cluster, plane)
+    orchestrator = CollectiveOrchestrator(system)
+    spec, expected = _spec_and_expected(primitive, tag)
+    done = {}
+
+    def driver():
+        outcome = yield from orchestrator.invoke(spec)
+        done["outcome"] = outcome
+
+    process = cluster.sim.process(driver(), name=f"fm-root-{primitive}")
+    cluster.run(until=SIM_BUDGET)
+    assert process.triggered and process.ok, (
+        f"{primitive} did not terminate under root failure "
+        f"(t={cluster.sim.now}, tasks={system.metrics.as_dict()})"
+    )
+    outcome = done["outcome"]
+    for rank, expectation in expected.items():
+        value = outcome.results[rank]
+        assert value.payload is not None, (primitive, rank)
+        assert np.allclose(value.as_array(), expectation), (
+            primitive,
+            rank,
+            value.as_array(),
+        )
+    # The root's death really was handled by the framework, not by luck:
+    # node 0's own share (the soft root share for rooted collectives, the
+    # strict rank share otherwise) was re-executed — either because the
+    # kill interrupted it or because its finished output died with node 0
+    # and lineage reconstruction re-ran it.
+    victim_ref = outcome.refs.get(("root", 0)) or outcome.refs[("share", 0)]
+    victim = system.tasks[victim_ref.producer_task_id]
+    assert victim.attempts >= 2, (
+        f"node-0 share of {primitive} was never re-executed "
+        f"(attempts={victim.attempts})"
+    )
+
+
 @pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("failure_class", FAILURE_CLASSES)
 @pytest.mark.parametrize("primitive", PRIMITIVES)
 @pytest.mark.parametrize("system", SYSTEMS)
-def test_collective_completes_and_is_correct_under_poisson_failures(system, primitive, seed):
-    cluster, plane = _build(system, seed)
-    _DRIVERS[primitive](cluster, plane)
+def test_collective_completes_and_is_correct_under_poisson_failures(
+    system, primitive, failure_class, seed
+):
+    cluster, plane = _build(system, seed, failure_class)
+    if failure_class == "root":
+        _run_orchestrated(cluster, plane, primitive, f"fm-{system}-{primitive}-s{seed}")
+    else:
+        _DRIVERS[primitive](cluster, plane)

@@ -1,0 +1,86 @@
+"""MoE heterogeneous expert loads: skewed routing + capacity-factor dropping."""
+
+import pytest
+
+from repro.apps.moe import apply_capacity_factor, routing_matrix, run_moe_routing
+
+MB = 1024 * 1024
+
+
+def test_zero_skew_reproduces_the_uniform_exchange():
+    route = routing_matrix(4, MB, expert_skew=0.0, iteration=0)
+    assert set(route.values()) == {MB}
+    assert len(route) == 4 * 3  # no self pairs
+
+
+def test_skew_makes_block_sizes_non_uniform_but_conserves_the_batch():
+    num_nodes, shard = 4, MB
+    route = routing_matrix(num_nodes, shard, expert_skew=1.5, iteration=0)
+    assert len(set(route.values())) > 1, "skewed routing should be non-uniform"
+    batch = shard * (num_nodes - 1)
+    for worker in range(num_nodes):
+        sent = sum(route[(worker, e)] for e in range(num_nodes) if e != worker)
+        # Integer truncation may shave a few bytes, never add any.
+        assert batch - num_nodes <= sent <= batch
+
+
+def test_skew_rotation_moves_the_hot_expert():
+    def hottest(iteration):
+        route = routing_matrix(4, MB, expert_skew=2.0, iteration=iteration)
+        loads = {e: 0 for e in range(4)}
+        for (_w, e), nbytes in route.items():
+            loads[e] += nbytes
+        return max(loads, key=loads.get)
+
+    assert len({hottest(i) for i in range(4)}) > 1
+
+
+def test_capacity_factor_drops_only_overflow():
+    route = routing_matrix(4, MB, expert_skew=2.0, iteration=0)
+    loads = {e: 0 for e in range(4)}
+    for (_w, e), nbytes in route.items():
+        loads[e] += nbytes
+    mean = sum(loads.values()) / 4
+    clamped, dropped = apply_capacity_factor(route, 4, capacity_factor=1.1)
+    assert dropped > 0
+    new_loads = {e: 0 for e in range(4)}
+    for (_w, e), nbytes in clamped.items():
+        new_loads[e] += nbytes
+    for e in range(4):
+        assert new_loads[e] <= 1.1 * mean + 4  # rounding slack
+        if loads[e] <= 1.1 * mean:
+            assert new_loads[e] == loads[e], "under-capacity experts keep all tokens"
+
+    unlimited, none_dropped = apply_capacity_factor(route, 4, capacity_factor=None)
+    assert unlimited == route and none_dropped == 0
+
+
+def test_heterogeneous_moe_regression():
+    """Skewed loads slow the iteration; capacity dropping claws time back."""
+    uniform = run_moe_routing(4, "hoplite", num_iterations=2, shard_bytes=MB)
+    skewed = run_moe_routing(
+        4, "hoplite", num_iterations=2, shard_bytes=MB, expert_skew=1.5
+    )
+    capped = run_moe_routing(
+        4,
+        "hoplite",
+        num_iterations=2,
+        shard_bytes=MB,
+        expert_skew=1.5,
+        capacity_factor=1.2,
+    )
+    assert uniform.metrics["load_imbalance"] == pytest.approx(1.0)
+    assert uniform.metrics["dropped_bytes"] == 0
+    assert skewed.metrics["load_imbalance"] > 1.1
+    assert skewed.metrics["dropped_bytes"] == 0
+    # The hot expert's column dominates the exchange and its compute.
+    assert skewed.duration > uniform.duration
+    assert capped.metrics["dropped_bytes"] > 0
+    assert capped.duration < skewed.duration
+
+
+def test_bad_parameters_are_rejected():
+    with pytest.raises(ValueError):
+        run_moe_routing(4, "hoplite", expert_skew=-1.0)
+    with pytest.raises(ValueError):
+        apply_capacity_factor({}, 4, capacity_factor=0.0)

@@ -91,6 +91,43 @@ def test_hoplite_broadcast_beats_ray_at_scale():
     assert hoplite < ray
 
 
+def test_driver_failure_object_plane_recovery_beats_job_restart():
+    """Acceptance: lineage re-execution beats the static restart model.
+
+    Recovery overhead = completion with a mid-collective root failure minus
+    the same system's failure-free baseline.  A rooted broadcast recovers
+    for ~free (the root share migrates and re-creates the object from
+    lineage); a late allreduce failure is nearly free because the finished
+    reduce is adopted; a static system always waits out the downtime and
+    reruns the whole job.
+    """
+    from repro.bench.scenarios import measure_driver_failure
+
+    network = NetworkConfig(bandwidth=1.25e8)
+    for collective, fraction in (("broadcast", 0.5), ("allreduce", 0.85)):
+        overheads = {}
+        for system in ("hoplite", "openmpi"):
+            baseline = measure_driver_failure(
+                system, 4, 8 * MB, collective=collective, network=network
+            )
+            failed = measure_driver_failure(
+                system,
+                4,
+                8 * MB,
+                collective=collective,
+                fail_fraction=fraction,
+                downtime=0.2,
+                network=network,
+            )
+            overheads[system] = failed - baseline
+        assert overheads["hoplite"] < overheads["openmpi"], (collective, overheads)
+
+    with pytest.raises(ValueError):
+        measure_driver_failure("hoplite", 4, MB, fail_at=0.1, fail_fraction=0.5)
+    with pytest.raises(UnsupportedScenarioError):
+        measure_driver_failure("optimal", 4, MB)
+
+
 def test_format_value_and_table_and_series():
     assert format_value(0) == "0"
     assert format_value(1234.0) == "1,234"

@@ -229,3 +229,78 @@ def test_task_returning_wrong_type_is_an_error():
 def test_object_ref_str():
     ref = ObjectRef(object_id=ObjectID.of("x"), producer_task_id=None)
     assert "x" in str(ref)
+
+
+def test_strict_placement_waits_for_the_nodes_recovery():
+    cluster, system = make_system()
+    cluster.node(2).fail()
+
+    def task(ctx):
+        yield ctx.compute(0.01)
+        return ObjectValue.from_array(np.full(1, float(ctx.node.node_id)), logical_size=MB)
+
+    def driver():
+        ref = system.submit(task, node=2, placement="strict", name="pinned")
+        yield cluster.sim.timeout(1.0)
+        running_before_recovery = system.tasks[ref.producer_task_id].status.value
+        cluster.node(2).recover()
+        yield from system.wait([ref], num_returns=1)
+        value = yield from system.get(ref)
+        return running_before_recovery, value, system.tasks[ref.producer_task_id].node_id
+
+    status_before, value, node_id = run_driver(cluster, driver())
+    assert status_before == "pending"
+    assert node_id == 2, "a strict task must not migrate"
+    assert np.allclose(value.as_array(), 2.0)
+
+    with pytest.raises(ValueError):
+        system.submit(task, placement="strict")  # strict needs a node hint
+    with pytest.raises(ValueError):
+        system.submit(task, node=1, placement="sideways")
+
+
+def test_higher_incarnation_supersedes_and_cancels_the_old_record():
+    cluster, system = make_system()
+
+    def slow(ctx):
+        yield ctx.compute(5.0)
+        return ObjectValue.of_size(MB)
+
+    def driver():
+        old = system.submit(slow, key="k", incarnation=0)
+        yield cluster.sim.timeout(0.1)
+        new = system.submit(slow, key="k", incarnation=1)
+        yield from system.wait([new], num_returns=1)
+        return old, new
+
+    old, new = run_driver(cluster, driver())
+    assert new.producer_task_id != old.producer_task_id
+    # The old incarnation must not keep running alongside the new one.
+    assert system.tasks[old.producer_task_id].status.value == "failed"
+    assert system.tasks[new.producer_task_id].status.value == "finished"
+
+
+def test_idempotent_key_revives_a_permanently_failed_task():
+    cluster, system = make_system()
+    state = {"raises": True}
+
+    def flaky(ctx):
+        yield ctx.compute(0.01)
+        if state["raises"]:
+            raise RuntimeError("transient bug")
+        return ObjectValue.of_size(MB)
+
+    def driver():
+        ref = system.submit(flaky, key="flaky", max_restarts=0)
+        try:
+            yield from system.wait([ref], num_returns=1)
+        except TaskError:
+            pass
+        state["raises"] = False
+        revived = system.submit(flaky, key="flaky", max_restarts=0)
+        assert revived.producer_task_id == ref.producer_task_id
+        yield from system.wait([revived], num_returns=1)
+        return system.tasks[revived.producer_task_id].status.value
+
+    assert run_driver(cluster, driver()) == "finished"
+    assert system.metrics.deduplicated == 1
