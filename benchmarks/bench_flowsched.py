@@ -1,0 +1,85 @@
+"""Flow-scheduled transport: HOL-blocking ablation and link utilization.
+
+The reservation-based transport admits a block only when the source uplink
+slot and the destination downlink slot are simultaneously free, so a busy
+receiver no longer parks its senders' uplinks idle-but-held.  Expectations:
+
+* the alltoall gap to the pipelined bound ``(n-1) * S / B`` closes from
+  ~1.5x (sequential acquisition) to <= 1.2x (flow scheduling);
+* mean uplink utilization over the exchange rises correspondingly;
+* the per-flow accounting splits traffic by class (bulk vs reduce-partial
+  vs control) for every NIC direction.
+"""
+
+from repro.bench.reporting import format_table
+from repro.bench.scenarios import measure_alltoall
+from repro.net.config import NetworkConfig
+
+MB = 1024 * 1024
+
+
+def alltoall_flowsched_rows(node_counts, nbytes):
+    """Hoplite alltoall under flow scheduling vs the sequential ablation."""
+    rows = []
+    for num_nodes in node_counts:
+        bound = (num_nodes - 1) * nbytes / NetworkConfig().bandwidth
+        stats_flow: dict = {}
+        flow = measure_alltoall(
+            "hoplite", num_nodes, nbytes, flow_stats=stats_flow
+        )
+        # The sequential ablation bypasses reservations entirely, so only its
+        # latency is comparable (its links have no utilization accounting).
+        sequential = measure_alltoall(
+            "hoplite",
+            num_nodes,
+            nbytes,
+            network=NetworkConfig(flow_scheduling=False),
+        )
+        rows.append(
+            {
+                "nodes": num_nodes,
+                "flowsched": flow,
+                "sequential": sequential,
+                "x_bound_flow": flow / bound,
+                "x_bound_seq": sequential / bound,
+                "uplink_util": stats_flow["mean_uplink_utilization"],
+                "bulk_bytes": float(stats_flow["bytes_by_class"]["bulk"]),
+                "control_msgs": stats_flow["control_messages"],
+            }
+        )
+    return rows
+
+
+def test_flowsched_closes_alltoall_gap(run_once, quick):
+    node_counts = (8,) if quick else (4, 8, 16)
+    nbytes = 16 * MB
+    rows = run_once(alltoall_flowsched_rows, node_counts=node_counts, nbytes=nbytes)
+    print()
+    print(
+        format_table(
+            "Alltoall: flow-scheduled vs sequential transport",
+            rows,
+            [
+                "nodes",
+                "flowsched",
+                "sequential",
+                "x_bound_flow",
+                "x_bound_seq",
+                "uplink_util",
+                "bulk_bytes",
+                "control_msgs",
+            ],
+        )
+    )
+    for row in rows:
+        # Flow scheduling closes the gap to the pipelined bound at scale and
+        # never loses to sequential acquisition there.  (At 4 nodes the
+        # 3-flow matchings leave schedule-dependent tail slack, so the small
+        # cluster is report-only.)
+        if row["nodes"] >= 8:
+            assert row["flowsched"] <= row["sequential"] * 1.01, row
+            assert row["x_bound_flow"] <= 1.2, row
+        # Per-flow accounting sees the exchanged bulk bytes: every pair moves
+        # nbytes across exactly one uplink.
+        assert row["bulk_bytes"] > 0, row
+        assert row["control_msgs"] > 0, row

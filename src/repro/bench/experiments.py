@@ -99,7 +99,12 @@ def collective_rows(
     primitives: Sequence[str] = ("broadcast", "gather", "reduce", "allreduce"),
     systems_by_primitive: Optional[dict] = None,
 ) -> list[dict]:
-    """Latency of each collective for each (size, node count, system)."""
+    """Latency of each collective for each (size, node count, system).
+
+    Every row also carries the collective's pipelined analytical optimum
+    (the scenario drivers' ``"optimal"`` system) and Hoplite's ratio to it
+    (``x_optimal``), so the tables read directly as closeness-to-bound.
+    """
     systems_by_primitive = systems_by_primitive or _FIG7_SYSTEMS
     rows = []
     for primitive in primitives:
@@ -116,6 +121,15 @@ def collective_rows(
                         row[system] = measure(system, num_nodes, size)
                     except Exception:  # noqa: BLE001 - unsupported combination
                         row[system] = float("nan")
+                try:
+                    row["optimal"] = measure("optimal", num_nodes, size)
+                except Exception:  # noqa: BLE001 - no analytic optimum
+                    row["optimal"] = float("nan")
+                hoplite = row.get("hoplite", float("nan"))
+                optimal = row["optimal"]
+                row["x_optimal"] = (
+                    hoplite / optimal if optimal and optimal == optimal else float("nan")
+                )
                 rows.append(row)
     return rows
 

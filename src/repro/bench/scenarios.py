@@ -29,6 +29,7 @@ the MPI failure model.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Generator, Optional, Sequence
 
 from repro.apps.common import reconstruct_on_recovery, retry_across_failures
@@ -46,7 +47,8 @@ from repro.net.cluster import Cluster
 from repro.net.config import NetworkConfig
 from repro.net.failure import FailureEvent
 from repro.net.failure import schedule as _install_failures
-from repro.net.transport import TransferError, transfer_bytes
+from repro.net.flowsched import FlowClass
+from repro.net.transport import TransferError
 from repro.store.objects import ObjectID, ObjectValue, ReduceOp
 from repro.tasksys import CollectiveOrchestrator, CollectiveSpec, TaskSystem
 
@@ -68,6 +70,69 @@ STATIC_SYSTEMS = ("openmpi", "gloo", "gloo_ring", "gloo_ring_chunked", "gloo_hal
 
 class UnsupportedScenarioError(ValueError):
     """The requested system does not implement the requested primitive."""
+
+
+# ---------------------------------------------------------------------------
+# Per-flow link utilization reporting (flow-scheduled transport)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LinkUsage:
+    """Utilization of one NIC direction over a scenario run."""
+
+    node_id: int
+    direction: str
+    #: fraction of the run this link spent transmitting granted reservations.
+    utilization: float
+    #: bytes granted per flow class name (``control``/``reduce_partial``/``bulk``).
+    bytes_by_class: dict[str, int]
+    #: number of reservations granted on this link.
+    reservations: int
+
+
+def collect_flow_usage(cluster: Cluster) -> dict:
+    """Per-link and aggregate flow statistics for a finished scenario.
+
+    Returns a dict with ``links`` (a :class:`LinkUsage` per NIC direction),
+    ``bytes_by_class`` (uplink-side aggregate, so bytes are not counted twice),
+    ``mean_uplink_utilization`` / ``max_uplink_utilization``, and the number
+    of ``control_messages`` the control plane sent.  Utilization is measured
+    over the whole simulated run (``cluster.now``).
+    """
+    elapsed = cluster.now
+    links: list[LinkUsage] = []
+    bytes_by_class = {cls.name.lower(): 0 for cls in FlowClass}
+    uplink_utils: list[float] = []
+    control_messages = 0
+    for node in cluster.nodes:
+        for sched in (node.uplink_sched, node.downlink_sched):
+            links.append(
+                LinkUsage(
+                    node_id=node.node_id,
+                    direction=sched.direction,
+                    utilization=sched.utilization(elapsed),
+                    bytes_by_class={
+                        cls.name.lower(): count
+                        for cls, count in sched.bytes_by_class.items()
+                    },
+                    reservations=sched.reservations_granted,
+                )
+            )
+        for cls, count in node.uplink_sched.bytes_by_class.items():
+            bytes_by_class[cls.name.lower()] += count
+        uplink_utils.append(node.uplink_sched.utilization(elapsed))
+        control_messages += node.uplink_sched.control_messages
+    return {
+        "elapsed": elapsed,
+        "links": links,
+        "bytes_by_class": bytes_by_class,
+        "mean_uplink_utilization": (
+            sum(uplink_utils) / len(uplink_utils) if uplink_utils else 0.0
+        ),
+        "max_uplink_utilization": max(uplink_utils, default=0.0),
+        "control_messages": control_messages,
+    }
 
 
 def _check_system(system: str) -> None:
@@ -568,6 +633,7 @@ def measure_allgather(
     network: Optional[NetworkConfig] = None,
     options: Optional[HopliteOptions] = None,
     failures: Optional[Sequence[FailureEvent]] = None,
+    flow_stats: Optional[dict] = None,
 ) -> float:
     """Latency for every node to hold one object from every other node.
 
@@ -577,6 +643,9 @@ def measure_allgather(
     latency.  The pipelined analytical bound is ``S_total / B + L * log n``
     with ``S_total = n * nbytes`` (each downlink must absorb almost the full
     gathered payload; the broadcast trees add a logarithmic latency term).
+
+    If ``flow_stats`` is given (a dict), it is filled with the run's per-flow
+    link utilization report (see :func:`collect_flow_usage`).
     """
     _check_system(system)
     network = network or NetworkConfig()
@@ -597,7 +666,10 @@ def measure_allgather(
             make_op = lambda: GlooCollectives(cluster).allgather(nbytes)  # noqa: E731
         else:
             raise UnsupportedScenarioError(f"{system!r} does not implement allgather")
-        return _run_static_with_restarts(cluster, make_op, num_nodes)
+        latency = _run_static_with_restarts(cluster, make_op, num_nodes)
+        if flow_stats is not None:
+            flow_stats.update(collect_flow_usage(cluster))
+        return latency
 
     plane = _make_plane(system, cluster, options)
     source_ids = [ObjectID.unique(f"allgather-{i}") for i in range(num_nodes)]
@@ -649,6 +721,8 @@ def measure_allgather(
     sim.run()
     if len(finish_times) != num_nodes:
         raise RuntimeError("allgather did not complete (unrecovered failure?)")
+    if flow_stats is not None:
+        flow_stats.update(collect_flow_usage(cluster))
     return max(finish_times)
 
 
@@ -817,12 +891,16 @@ def measure_alltoall(
     network: Optional[NetworkConfig] = None,
     options: Optional[HopliteOptions] = None,
     failures: Optional[Sequence[FailureEvent]] = None,
+    flow_stats: Optional[dict] = None,
 ) -> float:
     """Latency of a personalized all-to-all exchange (``nbytes`` per pair).
 
     Every node contributes one object per peer; the measurement covers the
     whole exchange (sends included, matching ``MPI_Alltoall`` semantics) and
     ends when the slowest participant holds its ``n - 1`` incoming blocks.
+
+    If ``flow_stats`` is given (a dict), it is filled with the run's per-flow
+    link utilization report (see :func:`collect_flow_usage`).
     """
     _check_system(system)
     network = network or NetworkConfig()
@@ -843,7 +921,10 @@ def measure_alltoall(
             make_op = lambda: GlooCollectives(cluster).alltoall(nbytes)  # noqa: E731
         else:
             raise UnsupportedScenarioError(f"{system!r} does not implement alltoall")
-        return _run_static_with_restarts(cluster, make_op, num_nodes)
+        latency = _run_static_with_restarts(cluster, make_op, num_nodes)
+        if flow_stats is not None:
+            flow_stats.update(collect_flow_usage(cluster))
+        return latency
 
     plane = _make_plane(system, cluster, options)
     pair_ids = {
@@ -890,4 +971,6 @@ def measure_alltoall(
     sim.run()
     if len(finish_times) != num_nodes:
         raise RuntimeError("alltoall did not complete (unrecovered failure?)")
+    if flow_stats is not None:
+        flow_stats.update(collect_flow_usage(cluster))
     return max(finish_times)

@@ -22,6 +22,7 @@ from typing import Generator, Optional, Sequence
 
 from repro.net.cluster import Cluster
 from repro.net.config import NetworkConfig
+from repro.net.flowsched import Flow, FlowClass
 from repro.net.node import Node
 from repro.net.transport import transfer_block, transfer_bytes
 from repro.sim import Event, Simulator
@@ -148,12 +149,19 @@ class StaticOperation:
     def wait_data_ready(self, rank: int) -> Event:
         return self._data_ready[rank]
 
+    def flow(self, src_rank: int, dst_rank: int) -> Flow:
+        """The bulk flow tag for this operation's ``src -> dst`` stream."""
+        return Flow(
+            f"{type(self).__name__}:{src_rank}->{dst_rank}", FlowClass.BULK
+        )
+
     def send_whole(self, src_rank: int, dst_rank: int) -> Generator:
         yield from transfer_bytes(
             self.config,
             self.group.node_of_rank(src_rank),
             self.group.node_of_rank(dst_rank),
             self.nbytes,
+            self.flow(src_rank, dst_rank),
         )
 
     def send_segmented(self, src_rank: int, dst_rank: int, ready_blocks=None) -> Generator:
@@ -164,11 +172,12 @@ class StaticOperation:
         """
         src = self.group.node_of_rank(src_rank)
         dst = self.group.node_of_rank(dst_rank)
+        flow = self.flow(src_rank, dst_rank)
         total = self.config.num_blocks(self.nbytes)
         for index in range(total):
             if ready_blocks is not None:
                 yield ready_blocks(index)
             yield from transfer_block(
-                self.config, src, dst, self.config.block_bytes(self.nbytes, index)
+                self.config, src, dst, self.config.block_bytes(self.nbytes, index), flow
             )
         return self.sim.now

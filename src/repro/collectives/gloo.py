@@ -66,10 +66,11 @@ class RingAllreduce(StaticOperation):
                 yield self._chunk_arrived[(rank, step - 1)]
                 if step <= reduce_steps:
                     yield self.sim.timeout(self.config.reduce_compute_time(chunk))
+            flow = self.flow(rank, next_rank)
             if self.chunked:
-                yield from self._send_chunk_segmented(node, next_node, chunk)
+                yield from self._send_chunk_segmented(node, next_node, chunk, flow)
             else:
-                yield from transfer_bytes(self.config, node, next_node, chunk)
+                yield from transfer_bytes(self.config, node, next_node, chunk, flow)
             arrived = self._chunk_arrived[(next_rank, step)]
             if not arrived.triggered:
                 arrived.succeed(self.sim.now)
@@ -77,14 +78,14 @@ class RingAllreduce(StaticOperation):
         yield self._chunk_arrived[(rank, total_steps - 1)]
         self.mark_data_ready(rank)
 
-    def _send_chunk_segmented(self, src: Node, dst: Node, chunk: int) -> Generator:
+    def _send_chunk_segmented(self, src: Node, dst: Node, chunk: int, flow) -> Generator:
         from repro.net.transport import transfer_block
 
         remaining = chunk
         block = min(self.config.block_size, chunk)
         while remaining > 0:
             nbytes = min(block, remaining)
-            yield from transfer_block(self.config, src, dst, nbytes)
+            yield from transfer_block(self.config, src, dst, nbytes, flow)
             remaining -= nbytes
 
 
@@ -116,7 +117,11 @@ class FlatBroadcast(StaticOperation):
 
     def _send_to(self, root_node: Node, dst_rank: int) -> Generator:
         yield from transfer_bytes(
-            self.config, root_node, self.group.node_of_rank(dst_rank), self.nbytes
+            self.config,
+            root_node,
+            self.group.node_of_rank(dst_rank),
+            self.nbytes,
+            self.flow(self.root, dst_rank),
         )
         event = self._received[dst_rank]
         if not event.triggered:

@@ -26,9 +26,9 @@ from typing import Generator, Optional
 
 from repro.collectives.base import (
     CollectiveGroup,
-    StaticCollectiveError,
     StaticOperation,
 )
+from repro.net.flowsched import Flow, FlowClass
 from repro.net.node import Node
 from repro.net.transport import transfer_block, transfer_bytes
 from repro.sim import Event
@@ -85,6 +85,7 @@ class BinomialBroadcast(StaticOperation):
             return
         parent_rank = self._rank_of_vrank(binomial_parent(vrank))
         parent_node = self.group.node_of_rank(parent_rank)
+        flow = self.flow(parent_rank, rank)
         for index in range(total_blocks):
             yield self._block_ready[parent_rank][index]
             yield from transfer_block(
@@ -92,6 +93,7 @@ class BinomialBroadcast(StaticOperation):
                 parent_node,
                 node,
                 self.config.block_bytes(self.nbytes, index),
+                flow,
             )
             if not self._block_ready[rank][index].triggered:
                 self._block_ready[rank][index].succeed(self.sim.now)
@@ -134,6 +136,7 @@ class PipelineChainBroadcast(StaticOperation):
             return
         predecessor_rank = self._rank_of_vrank(vrank - 1)
         predecessor_node = self.group.node_of_rank(predecessor_rank)
+        flow = self.flow(predecessor_rank, rank)
         for index in range(total_blocks):
             yield self._block_ready[predecessor_rank][index]
             yield from transfer_block(
@@ -141,6 +144,7 @@ class PipelineChainBroadcast(StaticOperation):
                 predecessor_node,
                 node,
                 self.config.block_bytes(self.nbytes, index),
+                flow,
             )
             if not self._block_ready[rank][index].triggered:
                 self._block_ready[rank][index].succeed(self.sim.now)
@@ -181,6 +185,11 @@ class BinaryTreeReduce(StaticOperation):
         child_node = self.group.node_of_rank(child_rank)
         total_blocks = self.config.num_blocks(self.nbytes)
         arrived = self._arrived[(rank, child_rank)]
+        # Partial results moving up the static tree are reduce-partial class,
+        # like Hoplite's dynamic-tree streams.
+        flow = Flow(
+            f"{type(self).__name__}:{child_rank}->{rank}", FlowClass.REDUCE_PARTIAL
+        )
         for index in range(total_blocks):
             yield self._partial_ready[child_rank][index]
             yield from transfer_block(
@@ -188,6 +197,7 @@ class BinaryTreeReduce(StaticOperation):
                 child_node,
                 node,
                 self.config.block_bytes(self.nbytes, index),
+                flow,
             )
             if not arrived[index].triggered:
                 arrived[index].succeed(self.sim.now)
@@ -243,7 +253,11 @@ class FlatGather(StaticOperation):
             self.mark_data_ready(rank)
             return
         yield from transfer_bytes(
-            self.config, node, self.group.node_of_rank(self.root), self.nbytes
+            self.config,
+            node,
+            self.group.node_of_rank(self.root),
+            self.nbytes,
+            self.flow(rank, self.root),
         )
         self._received += 1
         if self._received >= self.group.size - 1 and not self._all_received.triggered:
@@ -299,7 +313,11 @@ class HalvingDoublingAllreduce(StaticOperation):
                 # Odd ranks among the first 2*rem send their data to rank-1
                 # and sit out the core exchange.
                 yield from transfer_bytes(
-                    self.config, node, self.group.node_of_rank(rank - 1), self.nbytes
+                    self.config,
+                    node,
+                    self.group.node_of_rank(rank - 1),
+                    self.nbytes,
+                    self.flow(rank, rank - 1),
                 )
                 event = self._fold_received[rank - 1]
                 if not event.triggered:
@@ -321,7 +339,11 @@ class HalvingDoublingAllreduce(StaticOperation):
                 yield self._final_received[rank]
             else:
                 yield from transfer_bytes(
-                    self.config, node, self.group.node_of_rank(rank + 1), self.nbytes
+                    self.config,
+                    node,
+                    self.group.node_of_rank(rank + 1),
+                    self.nbytes,
+                    self.flow(rank, rank + 1),
                 )
                 event = self._final_received[rank + 1]
                 if not event.triggered:
@@ -342,6 +364,7 @@ class HalvingDoublingAllreduce(StaticOperation):
                 node,
                 self.group.node_of_rank(partner_rank),
                 int(max(1, segment)),
+                self.flow(rank, partner_rank),
             )
             recv_event = self._step_received[(partner_rank, step)]
             if not recv_event.triggered:
@@ -361,6 +384,7 @@ class HalvingDoublingAllreduce(StaticOperation):
                 node,
                 self.group.node_of_rank(partner_rank),
                 int(max(1, segment)),
+                self.flow(rank, partner_rank),
             )
             recv_event = self._step_received[(partner_rank, num_steps + step)]
             if not recv_event.triggered:
@@ -520,5 +544,6 @@ class MPICollectives:
             self.group.node_of_rank(src_rank),
             self.group.node_of_rank(dst_rank),
             nbytes,
+            Flow(f"mpi-send:{src_rank}->{dst_rank}", FlowClass.BULK),
         )
         return self.sim.now

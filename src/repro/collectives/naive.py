@@ -25,6 +25,7 @@ from repro.collectives.plane import CommPlane
 from repro.core.options import HopliteOptions
 from repro.core.runtime import HopliteRuntime
 from repro.net.cluster import Cluster
+from repro.net.flowsched import Flow, FlowClass
 from repro.net.node import Node
 from repro.store.objects import ObjectID, ObjectValue, ReduceOp
 
@@ -97,7 +98,13 @@ class TaskSystemPlane(CommPlane):
         yield from self._overhead()
         store = self.runtime.store(node)
         was_local = store.contains_complete(object_id)
-        value = yield from self.runtime.client(node).get(object_id, read_only=read_only)
+        value = yield from self.runtime.client(node).get(
+            object_id,
+            read_only=read_only,
+            # Everything a naive task system moves is a bulk flow; the tag
+            # keeps the per-flow accounting comparable across planes.
+            flow=Flow(f"{self.profile.name}:get:{object_id}->n{node.node_id}", FlowClass.BULK),
+        )
         if not was_local:
             yield from self._bandwidth_penalty(value.size)
         return value

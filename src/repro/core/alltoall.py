@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Generator, Sequence
 
+from repro.net.flowsched import Flow, FlowClass
 from repro.net.node import Node
 from repro.net.transport import NodeFailedError, TransferError
 from repro.store.objects import ObjectID, ObjectValue
@@ -117,9 +118,10 @@ class AllToAllExecution:
 
     def _recv_one(self, object_id: ObjectID) -> Generator:
         client = self.runtime.client(self.node)
+        flow = Flow(f"alltoall:{object_id}->n{self.node.node_id}", FlowClass.BULK)
         while True:
             try:
-                value = yield from client.get(object_id)
+                value = yield from client.get(object_id, flow=flow)
                 self._values[object_id] = value
                 return
             except TransferError:

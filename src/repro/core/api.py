@@ -25,6 +25,7 @@ from repro.core.gather import (
     ReduceScatterResult,
 )
 from repro.core.reduce import ReduceResult, adopt_or_create_reduction
+from repro.net.flowsched import Flow
 from repro.net.node import Node
 from repro.net.transport import NodeFailedError, local_copy, local_copy_block
 from repro.store.objects import ObjectID, ObjectValue, ReduceOp
@@ -90,12 +91,19 @@ class HopliteClient:
         return object_id
 
     # ------------------------------------------------------------------ Get --
-    def get(self, object_id: ObjectID, read_only: bool = True) -> Generator:
+    def get(
+        self,
+        object_id: ObjectID,
+        read_only: bool = True,
+        flow: Optional[Flow] = None,
+    ) -> Generator:
         """Fetch an object buffer by id, blocking until it is available.
 
         ``read_only=True`` returns a pointer into the local store (no copy),
         which is how the paper runs its evaluation; ``read_only=False`` pays
-        an extra store-to-worker copy.
+        an extra store-to-worker copy.  ``flow`` tags the fetch's transfers
+        for admission priority and per-flow accounting (collectives pass
+        their own flow ids; plain gets default to a bulk-class flow).
         """
         runtime = self.runtime
         store = runtime.store(self.node)
@@ -120,7 +128,7 @@ class HopliteClient:
             fetch = manager.inflight_fetches.get(object_id)
             if fetch is None or not fetch.is_alive:
                 fetch = self.sim.process(
-                    fetch_object(runtime, self.node, object_id),
+                    fetch_object(runtime, self.node, object_id, flow=flow),
                     name=f"fetch-{object_id}-n{self.node.node_id}",
                 )
                 manager.inflight_fetches[object_id] = fetch
@@ -138,7 +146,7 @@ class HopliteClient:
                     raise NodeFailedError(
                         f"node {self.node.node_id} is down", node=self.node
                     )
-                result = yield from self.get(object_id, read_only=read_only)
+                result = yield from self.get(object_id, read_only=read_only, flow=flow)
                 return result
 
         # Record the relay copy with the orchestration layer: this node is

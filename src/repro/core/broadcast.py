@@ -15,8 +15,9 @@ and resumes from the first missing block.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Generator
+from typing import TYPE_CHECKING, Generator, Optional
 
+from repro.net.flowsched import Flow, FlowClass
 from repro.net.node import Node
 from repro.net.transport import TransferError, transfer_block, transfer_bytes
 from repro.store.object_store import StoredObject
@@ -30,13 +31,18 @@ def fetch_object(
     runtime: "HopliteRuntime",
     node: Node,
     object_id: ObjectID,
+    flow: Optional[Flow] = None,
 ) -> Generator:
     """Fetch ``object_id`` into ``node``'s local store.
 
     Returns the local :class:`StoredObject` once it is complete.  This is the
     receiver side of Hoplite's broadcast; it is driven from a simulation
-    process (usually :meth:`HopliteClient.get`).
+    process (usually :meth:`HopliteClient.get`).  ``flow`` tags the fetch's
+    transfers for admission priority and per-flow bandwidth accounting; the
+    default is a bulk-class flow named after the object and receiver.
     """
+    if flow is None:
+        flow = Flow(f"get:{object_id}->n{node.node_id}", FlowClass.BULK)
     store = runtime.store(node)
     directory = runtime.directory
 
@@ -65,9 +71,9 @@ def fetch_object(
     entry.ref_count += 1
     try:
         if runtime.options.enable_dynamic_broadcast:
-            yield from _fetch_dynamic(runtime, node, object_id, entry)
+            yield from _fetch_dynamic(runtime, node, object_id, entry, flow)
         else:
-            yield from _fetch_from_origin(runtime, node, object_id, entry)
+            yield from _fetch_from_origin(runtime, node, object_id, entry, flow)
     finally:
         entry.ref_count -= 1
     return entry
@@ -78,6 +84,7 @@ def _fetch_dynamic(
     node: Node,
     object_id: ObjectID,
     entry: StoredObject,
+    flow: Flow,
 ) -> Generator:
     """The full receiver-driven protocol with partial sources and recovery."""
     directory = runtime.directory
@@ -91,7 +98,7 @@ def _fetch_dynamic(
         source_node = runtime.node(source.node_id)
         succeeded = False
         try:
-            yield from _pull_blocks(runtime, source_node, node, object_id, entry)
+            yield from _pull_blocks(runtime, source_node, node, object_id, entry, flow)
             succeeded = True
         except TransferError:
             # The source died (or lost the object).  Keep our partial blocks,
@@ -111,6 +118,7 @@ def _fetch_from_origin(
     node: Node,
     object_id: ObjectID,
     entry: StoredObject,
+    flow: Flow,
 ) -> Generator:
     """Ablation path: always pull from a complete copy (no relay through receivers).
 
@@ -138,7 +146,9 @@ def _fetch_from_origin(
             source_entry.ref_count += 1
             try:
                 yield source_entry.wait_sealed()
-                yield from transfer_bytes(config, source_node, node, entry.size)
+                yield from transfer_bytes(config, source_node, node, entry.size, flow)
+                runtime.store(source_node).account_flow_out(flow, entry.size)
+                runtime.store(node).account_flow_in(flow, entry.size)
             finally:
                 source_entry.ref_count -= 1
             entry.metadata.update(source_entry.metadata)
@@ -154,6 +164,7 @@ def _pull_blocks(
     dest_node: Node,
     object_id: ObjectID,
     entry: StoredObject,
+    flow: Flow,
 ) -> Generator:
     """Stream the missing blocks of ``entry`` from ``source_node``.
 
@@ -186,7 +197,9 @@ def _pull_blocks(
             )
             _ensure_alive(source_node)
             nbytes = config.block_bytes(entry.size, block_index)
-            yield from transfer_block(config, source_node, dest_node, nbytes)
+            yield from transfer_block(config, source_node, dest_node, nbytes, flow)
+            source_store.account_flow_out(flow, nbytes)
+            runtime.store(dest_node).account_flow_in(flow, nbytes)
             entry.mark_block_ready(block_index)
     finally:
         source_entry.ref_count -= 1

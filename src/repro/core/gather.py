@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Generator, Optional, Sequence
 
 from repro.core.reduce import ReduceResult, adopt_or_create_reduction
+from repro.net.flowsched import Flow, FlowClass
 from repro.net.node import Node
 from repro.net.transport import NodeFailedError, TransferError
 from repro.store.objects import ObjectID, ObjectValue, ReduceOp
@@ -139,9 +140,10 @@ class AllGatherExecution:
         the coordinator turns that into a :class:`NodeFailedError`.
         """
         client = self.runtime.client(self.node)
+        flow = Flow(f"allgather:{object_id}->n{self.node.node_id}", FlowClass.BULK)
         while True:
             try:
-                value = yield from client.get(object_id)
+                value = yield from client.get(object_id, flow=flow)
                 self._values[object_id] = value
                 return
             except TransferError:
@@ -196,7 +198,13 @@ class ReduceScatterExecution:
             execution.run(), name=f"reduce-scatter-{self.target_id}"
         )
         try:
-            value = yield from self.runtime.client(self.node).get(self.target_id)
+            value = yield from self.runtime.client(self.node).get(
+                self.target_id,
+                flow=Flow(
+                    f"reduce-scatter:{self.target_id}->n{self.node.node_id}",
+                    FlowClass.BULK,
+                ),
+            )
         except BaseException:
             reduce_proc.defused = True  # nobody awaits the abandoned waiter
             raise

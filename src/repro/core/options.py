@@ -30,6 +30,10 @@ class HopliteOptions:
         candidate_reduce_degrees: degrees considered by the runtime selector;
             ``0`` stands for ``n`` (a flat tree), matching the paper's
             implementation note that `d ∈ {1, 2, n}` suffices.
+        source_selection_seed: seed of the directory's deterministic
+            tie-break among equally loaded transfer sources.  Any fixed seed
+            makes a run byte-for-byte reproducible; varying it varies the
+            broadcast-tree shapes without losing replayability.
     """
 
     enable_pipelining: bool = True
@@ -37,6 +41,7 @@ class HopliteOptions:
     enable_dynamic_broadcast: bool = True
     reduce_degree: Optional[int] = None
     candidate_reduce_degrees: Sequence[int] = (1, 2, 0)
+    source_selection_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.reduce_degree is not None and self.reduce_degree < 0:

@@ -27,6 +27,7 @@ import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Generator, Optional, Sequence
 
+from repro.net.flowsched import Flow, FlowClass
 from repro.net.node import Node
 from repro.net.transport import TransferError, local_copy_block, transfer_block
 from repro.sim import Event, Interrupt, Process
@@ -691,6 +692,13 @@ class ReduceExecution:
                 )
             parent_node = parent_state.host
             same_node = child_node.node_id == parent_node.node_id
+            # Reduce partials ride the REDUCE_PARTIAL flow class: they cut
+            # ahead of bulk broadcast traffic in the link admission queues,
+            # since one late partial stalls the whole subtree above it.
+            flow = Flow(
+                f"reduce:{self.target_id}:n{child_node.node_id}->n{parent_node.node_id}",
+                FlowClass.REDUCE_PARTIAL,
+            )
             # Reference the child's output while streaming from it so a
             # capacity-limited child store cannot evict it mid-stream.
             child_entry.ref_count += 1
@@ -706,7 +714,9 @@ class ReduceExecution:
                     if same_node:
                         yield from local_copy_block(config, parent_node, nbytes)
                     else:
-                        yield from transfer_block(config, child_node, parent_node, nbytes)
+                        yield from transfer_block(config, child_node, parent_node, nbytes, flow)
+                        child_store.account_flow_out(flow, nbytes)
+                        runtime.store(parent_node).account_flow_in(flow, nbytes)
                     staging.mark_block_ready(block_index)
                 yield self._race_peer_failure(
                     child_entry.wait_sealed(), child_node, parent_node

@@ -82,7 +82,9 @@ class HopliteRuntime:
         self.sim = cluster.sim
         self.config = cluster.config
         self.options = options or HopliteOptions()
-        self.directory = ObjectDirectory(cluster)
+        self.directory = ObjectDirectory(
+            cluster, selection_seed=self.options.source_selection_seed
+        )
         self.stores: dict[int, LocalObjectStore] = {
             node.node_id: LocalObjectStore(node, self.config, store_capacity_bytes)
             for node in cluster.nodes

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 import zlib
 from dataclasses import dataclass, field
 from typing import Generator, Iterable, Optional
@@ -52,10 +53,13 @@ class ObjectDirectory:
     must be driven from a simulation process (``yield from``).
     """
 
-    def __init__(self, cluster: Cluster):
+    def __init__(self, cluster: Cluster, selection_seed: int = 0):
         self.cluster = cluster
         self.sim = cluster.sim
         self.config = cluster.config
+        #: seed of the deterministic tie-break among equally loaded sources
+        #: (see :meth:`_eligible_sources`).
+        self.selection_seed = int(selection_seed)
         num_shards = min(self.config.num_directory_shards, len(cluster.nodes))
         #: node that hosts each shard (round-robin placement).
         self.shard_nodes: list[Node] = [
@@ -87,6 +91,9 @@ class ObjectDirectory:
         if requester.node_id == shard_node.node_id:
             yield self.sim.timeout(self.config.rpc_latency / 4.0)
         else:
+            # Control-plane traffic rides the latency path (it never occupies
+            # a bulk link slot) but is visible to the flow accounting.
+            requester.uplink_sched.record_control()
             yield self.sim.timeout(self.config.rpc_latency)
         if not requester.alive:
             raise NodeFailedError(f"node {requester.node_id} is down", node=requester)
@@ -283,7 +290,22 @@ class ObjectDirectory:
             uplink = self.cluster.nodes[info.node_id].uplink
             return uplink.in_use + uplink.queue_length
 
-        sources.sort(key=lambda info: (not info.complete, _load(info), info.node_id))
+        # Under equal load the tie-break is a seeded hash of (seed, object,
+        # candidate) rather than the raw node id: still fully deterministic —
+        # a seeded run is byte-for-byte reproducible — but without the
+        # systematic bias toward low-numbered nodes, and re-seedable so the
+        # fault matrix can vary schedules while staying replayable.  blake2b
+        # rather than crc32: crc is linear, so same-length object ids would
+        # shift every candidate's hash by the same XOR constant and the
+        # per-object variation would collapse to one global order.
+        def _tie_break(info: LocationInfo) -> int:
+            token = f"{self.selection_seed}:{record.object_id.key}:{info.node_id}"
+            digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8).digest()
+            return int.from_bytes(digest, "big")
+
+        sources.sort(
+            key=lambda info: (not info.complete, _load(info), _tie_break(info), info.node_id)
+        )
         return sources
 
     def acquire_transfer_source(

@@ -15,14 +15,20 @@ the quantities the paper's analytical model (Section 3.4.2) reasons about.
 
 from repro.net.cluster import Cluster
 from repro.net.config import NetworkConfig
+from repro.net.flowsched import Flow, FlowClass, FlowTransport, LinkScheduler, Reservation
 from repro.net.node import Node
 from repro.net.transport import NodeFailedError, TransferError, transfer_bytes
 
 __all__ = [
     "Cluster",
+    "Flow",
+    "FlowClass",
+    "FlowTransport",
+    "LinkScheduler",
     "NetworkConfig",
     "Node",
     "NodeFailedError",
+    "Reservation",
     "TransferError",
     "transfer_bytes",
 ]

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
+from repro.net.flowsched import LinkScheduler
 from repro.sim import Event, Resource, Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -19,6 +20,9 @@ class Node:
       (a capacity-1 :class:`~repro.sim.Resource`) — concurrent transfers in
       the same direction interleave at block granularity, which approximates
       fair sharing and reproduces sender/receiver bottlenecks;
+    * a :class:`~repro.net.flowsched.LinkScheduler` per NIC direction that
+      admits flow-scheduled reservations on that link and accumulates
+      per-flow utilization accounting;
     * a memory-copy channel used for worker-to-store and store-to-worker
       copies inside the node;
     * a liveness flag plus an incarnation counter used by failure injection.
@@ -30,6 +34,8 @@ class Node:
         self.cluster = cluster
         self.uplink = Resource(sim, capacity=1)
         self.downlink = Resource(sim, capacity=1)
+        self.uplink_sched = LinkScheduler(self, self.uplink, "up")
+        self.downlink_sched = LinkScheduler(self, self.downlink, "down")
         self.memcpy_channel = Resource(sim, capacity=1)
         self.alive = True
         #: Incremented every time the node recovers from a failure.  Stale
@@ -77,6 +83,18 @@ class Node:
 
     def on_failure(self, callback: Callable[["Node"], None]) -> None:
         self.failure_listeners.append(callback)
+
+    def remove_failure_listener(self, callback: Callable[["Node"], None]) -> None:
+        """Deregister a failure listener (no-op if it is not registered).
+
+        Short-lived waiters (e.g. a transfer racing its admission against a
+        peer failure) must remove their listeners when the race resolves, or
+        the listener list grows with every block transferred.
+        """
+        try:
+            self.failure_listeners.remove(callback)
+        except ValueError:
+            pass
 
     def on_recovery(self, callback: Callable[["Node"], None]) -> None:
         self.recovery_listeners.append(callback)

@@ -8,22 +8,41 @@ Model
 Moving ``nbytes`` from node A to node B:
 
 1. the bytes are split into blocks of at most ``block_size``;
-2. each block occupies A's uplink and B's downlink simultaneously for the
-   serialization time ``block / bandwidth`` (cut-through, bottleneck at the
-   NIC rate), then arrives after one extra propagation ``latency``.
+2. each block is **admitted** by the flow scheduler
+   (:mod:`repro.net.flowsched`): a reservation claims A's uplink slot and
+   B's downlink slot atomically, granted only when both are free at the same
+   instant;
+3. the granted block occupies both slots for the serialization time
+   ``block / bandwidth`` (cut-through, bottleneck at the NIC rate), then
+   arrives after one extra propagation ``latency``.
 
-Because the uplink is acquired before the downlink and the resource graph is
-bipartite (uplinks on one side, downlinks on the other), concurrent transfers
-can never deadlock.  Concurrent transfers that share a NIC direction
-interleave block by block, which approximates TCP fair sharing and — more
-importantly for this paper — reproduces the sender-side bottleneck of naive
-broadcast and the receiver-side bottleneck of flat (d = n) reduce.
+Because a pending reservation holds nothing, a sender whose flow toward one
+busy receiver is still queued keeps serving its flows toward idle receivers
+— there is no head-of-line blocking — and because claims are atomic the
+resource graph cannot deadlock.  Concurrent transfers that share a NIC
+direction interleave block by block, which approximates TCP fair sharing
+and — more importantly for this paper — reproduces the sender-side
+bottleneck of naive broadcast and the receiver-side bottleneck of flat
+(d = n) reduce.  Transfers carry :class:`~repro.net.flowsched.Flow` metadata
+(a flow id for per-flow bandwidth accounting and a priority class ordering
+control > reduce-partial > bulk in the admission queues).
+
+Setting ``NetworkConfig.flow_scheduling = False`` restores the legacy
+sequential acquisition (uplink first, then queue on the downlink while
+holding it) as an ablation.
+
+Zero-byte moves — remote or local — complete immediately at the current
+simulated time: no link slot, no serialization, no propagation latency, the
+same contract for :func:`transfer_bytes` and :func:`local_copy`.
 
 Failures
 --------
 If either endpoint fails, in-flight and future blocks of the transfer raise
-:class:`TransferError` after the configured failure-detection delay, exactly
-like a broken TCP connection being noticed by its peer.
+:class:`TransferError`; a reservation still waiting for admission is
+cancelled (withdrawn from every queue) first.  The failure-*detection* delay
+is modelled where the paper's protocols pay it: in the retry loops of the
+layers above, which sleep ``failure_detection_delay`` before re-resolving a
+source — exactly like a broken TCP connection being noticed by its peer.
 """
 
 from __future__ import annotations
@@ -31,6 +50,7 @@ from __future__ import annotations
 from typing import Generator, Optional
 
 from repro.net.config import NetworkConfig
+from repro.net.flowsched import Flow, FlowTransport
 from repro.net.node import Node
 
 
@@ -57,11 +77,31 @@ def transfer_block(
     src: Node,
     dst: Node,
     nbytes: int,
+    flow: Optional[Flow] = None,
 ) -> Generator:
     """Move a single block from ``src`` to ``dst``.
 
     Returns (via StopIteration) the simulated time at which the block is
     fully available at the destination.
+    """
+    if config.flow_scheduling:
+        result = yield from FlowTransport(config).transfer_block(src, dst, nbytes, flow)
+        return result
+    result = yield from _transfer_block_sequential(config, src, dst, nbytes)
+    return result
+
+
+def _transfer_block_sequential(
+    config: NetworkConfig,
+    src: Node,
+    dst: Node,
+    nbytes: int,
+) -> Generator:
+    """Legacy acquisition order: hold the uplink, then queue on the downlink.
+
+    Kept as the ablation behind ``NetworkConfig.flow_scheduling = False``:
+    this is the path that parks a sender's uplink idle-but-held behind a
+    busy receiver (head-of-line blocking).
     """
     sim = src.sim
     _check_alive(src, dst)
@@ -89,20 +129,24 @@ def transfer_bytes(
     src: Node,
     dst: Node,
     nbytes: int,
+    flow: Optional[Flow] = None,
 ) -> Generator:
     """Move ``nbytes`` from ``src`` to ``dst`` as a sequence of blocks.
 
     This is the non-pipelined building block: the caller observes completion
     only once every block has arrived.  Pipelined consumers drive
     :func:`transfer_block` themselves so they can observe per-block progress.
+    Zero-byte moves complete immediately (see the module docstring).
     """
     sim = src.sim
     if nbytes <= 0:
-        yield sim.timeout(config.latency)
+        _check_alive(src, dst)
         return sim.now
     total_blocks = config.num_blocks(nbytes)
     for index in range(total_blocks):
-        yield from transfer_block(config, src, dst, config.block_bytes(nbytes, index))
+        yield from transfer_block(
+            config, src, dst, config.block_bytes(nbytes, index), flow
+        )
     return sim.now
 
 
@@ -122,9 +166,14 @@ def local_copy_block(config: NetworkConfig, node: Node, nbytes: int) -> Generato
 
 
 def local_copy(config: NetworkConfig, node: Node, nbytes: int) -> Generator:
-    """Copy ``nbytes`` between a worker and the local store, block by block."""
+    """Copy ``nbytes`` between a worker and the local store, block by block.
+
+    Zero-byte copies complete immediately — the same contract as
+    :func:`transfer_bytes`.
+    """
     sim = node.sim
     if nbytes <= 0:
+        _check_alive(node)
         return sim.now
     total_blocks = config.num_blocks(nbytes)
     for index in range(total_blocks):
@@ -133,13 +182,20 @@ def local_copy(config: NetworkConfig, node: Node, nbytes: int) -> Generator:
 
 
 def control_rpc(config: NetworkConfig, src: Node, dst: Node) -> Generator:
-    """A small control-plane round trip (directory query, notification)."""
+    """A small control-plane round trip (directory query, notification).
+
+    Control messages ride the latency path only (they never contend for the
+    bulk link slots), which is exactly the CONTROL > data ordering of the
+    flow classes; the round trip is recorded in the sender's flow accounting
+    so utilization reports see the control plane.
+    """
     sim = src.sim
     _check_alive(src, dst)
     if src.node_id == dst.node_id:
         # Local shard access still pays a (smaller) IPC cost.
         yield sim.timeout(config.rpc_latency / 4.0)
     else:
+        src.uplink_sched.record_control()
         yield sim.timeout(config.rpc_latency)
     _check_alive(src, dst)
     return sim.now

@@ -22,7 +22,7 @@ from repro.sim.core import (
     Simulator,
     Timeout,
 )
-from repro.sim.resources import Container, PriorityResource, Resource, Store
+from repro.sim.resources import Container, MultiRequest, PriorityResource, Resource, Store
 
 __all__ = [
     "AllOf",
@@ -30,6 +30,7 @@ __all__ = [
     "Container",
     "Event",
     "Interrupt",
+    "MultiRequest",
     "PriorityResource",
     "Process",
     "ProcessFailure",

@@ -1,9 +1,17 @@
 """Shared resources for simulation processes.
 
-Three primitives cover everything the higher layers need:
+Four primitives cover everything the higher layers need:
 
 * :class:`Resource` — a counted resource (e.g. a worker pool slot, a NIC
   transmit slot).  Requests queue FIFO and are granted as capacity frees up.
+* :class:`MultiRequest` — a cancellable claim on *several* resources at once,
+  granted atomically only when every resource has capacity simultaneously.
+  Unlike single requests, a pending multi-request never blocks the requests
+  behind it: the grant scan skips it until its whole claim set is free.  This
+  is the admission primitive behind the flow-scheduled transport
+  (:mod:`repro.net.flowsched`) — it removes the hold-one-wait-for-the-other
+  head-of-line blocking of sequential acquisition, and it cannot deadlock
+  because it never holds a partial claim.
 * :class:`Container` — a continuous quantity (e.g. bytes of store memory)
   with blocking ``get``/``put``.
 * :class:`Store` — a FIFO queue of Python objects with blocking ``get`` and
@@ -13,7 +21,7 @@ Three primitives cover everything the higher layers need:
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Sequence
 
 from repro.sim.core import Event, SimulationError, Simulator
 
@@ -38,8 +46,101 @@ class _Request(Event):
         self.resource._cancel(self)
 
 
+class MultiRequest(Event):
+    """A cancellable claim on several resources, granted atomically.
+
+    ``claims`` is a sequence of ``(resource, amount)`` pairs.  The request
+    enqueues on every claimed resource (ordered by ``priority``, FIFO within
+    equal priorities) and is granted only at an instant when *all* claims fit
+    — it never holds one resource while waiting for another, so a set of
+    multi-requests cannot deadlock, and a busy partner resource never parks
+    the claimed capacity idle.
+
+    Usable as a context manager like a single request; ``release`` frees a
+    granted claim or withdraws a pending one.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        claims: Sequence[tuple["Resource", int]],
+        priority: int = 0,
+    ):
+        super().__init__(sim)
+        if not claims:
+            raise SimulationError("a multi-request needs at least one claim")
+        seen: set[int] = set()
+        for resource, amount in claims:
+            if amount <= 0 or amount > resource.capacity:
+                raise SimulationError(
+                    f"cannot claim {amount} units of a capacity-{resource.capacity} resource"
+                )
+            if id(resource) in seen:
+                raise SimulationError("a multi-request cannot claim a resource twice")
+            seen.add(id(resource))
+        self.claims = list(claims)
+        self.priority = priority
+        #: simulated time of the grant (``None`` while pending).
+        self.granted_at: Optional[float] = None
+        self._released = False
+        for resource, _amount in self.claims:
+            resource._enqueue(self)
+        self._try_grant()
+
+    @property
+    def granted(self) -> bool:
+        return self.granted_at is not None
+
+    def __enter__(self) -> "MultiRequest":
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+        self.release()
+
+    def _try_grant(self) -> bool:
+        """Grant the whole claim set if every resource has capacity now."""
+        if self.triggered or self._released:
+            return False
+        for resource, amount in self.claims:
+            if resource.in_use + amount > resource.capacity:
+                return False
+        for resource, amount in self.claims:
+            resource.in_use += amount
+            resource._granted.add(id(self))
+            resource._cancel(self)
+        self.granted_at = self.sim.now
+        self.succeed(self)
+        return True
+
+    def release(self) -> None:
+        """Free a granted claim, or withdraw it if still pending."""
+        if self._released:
+            return
+        self._released = True
+        if self.granted:
+            for resource, amount in self.claims:
+                resource._granted.discard(id(self))
+                resource.in_use -= amount
+            for resource, _amount in self.claims:
+                resource._grant()
+        else:
+            for resource, _amount in self.claims:
+                resource._cancel(self)
+
+    def cancel(self) -> None:
+        """Withdraw the claim (alias of :meth:`release` for pending requests)."""
+        self.release()
+
+
 class Resource:
-    """A counted resource with FIFO granting."""
+    """A counted resource with priority-then-FIFO granting.
+
+    Plain :meth:`request` calls all share priority 0, so the default behaviour
+    is pure FIFO.  A waiting single request that does not fit blocks every
+    request behind it (strict serialization); a waiting :class:`MultiRequest`
+    whose partner resources are busy is skipped so later requests keep the
+    resource busy (work conservation).
+    """
 
     def __init__(self, sim: Simulator, capacity: int = 1):
         if capacity <= 0:
@@ -47,7 +148,7 @@ class Resource:
         self.sim = sim
         self.capacity = capacity
         self.in_use = 0
-        self._waiting: deque[_Request] = deque()
+        self._waiting: list[Event] = []
         self._granted: set[int] = set()
 
     @property
@@ -58,13 +159,22 @@ class Resource:
     def queue_length(self) -> int:
         return len(self._waiting)
 
+    def _enqueue(self, request: Event) -> None:
+        """Insert by priority (low first), FIFO within equal priorities."""
+        priority = request.priority
+        for index, waiting in enumerate(self._waiting):
+            if priority < waiting.priority:
+                self._waiting.insert(index, request)
+                return
+        self._waiting.append(request)
+
     def request(self, amount: int = 1) -> _Request:
         if amount <= 0 or amount > self.capacity:
             raise SimulationError(
                 f"cannot request {amount} units of a capacity-{self.capacity} resource"
             )
         req = _Request(self, amount)
-        self._waiting.append(req)
+        self._enqueue(req)
         self._grant()
         return req
 
@@ -76,24 +186,36 @@ class Resource:
         else:
             self._cancel(request)
 
-    def _cancel(self, request: _Request) -> None:
+    def _cancel(self, request: Event) -> None:
         try:
             self._waiting.remove(request)
         except ValueError:
             pass
 
     def _grant(self) -> None:
-        while self._waiting:
-            head = self._waiting[0]
-            if head.triggered:
-                self._waiting.popleft()
+        index = 0
+        while index < len(self._waiting):
+            req = self._waiting[index]
+            if req.triggered:
+                del self._waiting[index]
                 continue
-            if self.in_use + head.amount > self.capacity:
+            if isinstance(req, MultiRequest):
+                # A successful grant removes the request from this queue (do
+                # not advance); a failed match is skipped rather than blocking
+                # the queue — the matching-based admission discipline.
+                if not req._try_grant():
+                    index += 1
+                continue
+            if self.in_use + req.amount > self.capacity:
+                # Strict FIFO for single requests: nothing behind a blocked
+                # single request is granted (MultiRequests included — they
+                # will be retried by their other resources' grant scans, and
+                # by this one once the blocked head is granted).
                 break
-            self._waiting.popleft()
-            self.in_use += head.amount
-            self._granted.add(id(head))
-            head.succeed(head)
+            del self._waiting[index]
+            self.in_use += req.amount
+            self._granted.add(id(req))
+            req.succeed(req)
 
 
 class PriorityResource(Resource):
@@ -105,14 +227,7 @@ class PriorityResource(Resource):
                 f"cannot request {amount} units of a capacity-{self.capacity} resource"
             )
         req = _Request(self, amount, priority)
-        inserted = False
-        for index, waiting in enumerate(self._waiting):
-            if priority < waiting.priority:
-                self._waiting.insert(index, req)
-                inserted = True
-                break
-        if not inserted:
-            self._waiting.append(req)
+        self._enqueue(req)
         self._grant()
         return req
 

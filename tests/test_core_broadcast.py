@@ -1,7 +1,6 @@
 """Tests for receiver-driven broadcast: relaying, bottleneck avoidance, failures."""
 
 import numpy as np
-import pytest
 
 from repro.core import HopliteOptions, HopliteRuntime, ObjectID, ObjectValue
 from repro.net import Cluster, NetworkConfig

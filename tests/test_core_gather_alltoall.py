@@ -193,6 +193,29 @@ def test_hoplite_allgather_within_pipelined_bound():
             assert latency <= 1.5 * bound, (num_nodes, nbytes, latency / bound)
 
 
+def test_hoplite_alltoall_within_pipelined_bound():
+    """Acceptance: flow-scheduled alltoall within 1.2x of (n-1) * S / B.
+
+    The sequential-acquisition transport left this at ~1.5x (head-of-line
+    blocking at busy receivers); the reservation-based admission closes it.
+    """
+    network = NetworkConfig()
+    for num_nodes in (8, 16):
+        for nbytes in (16 * MB, 32 * MB):
+            latency = measure_alltoall("hoplite", num_nodes, nbytes)
+            bound = (num_nodes - 1) * nbytes / network.bandwidth
+            assert latency <= 1.2 * bound, (num_nodes, nbytes, latency / bound)
+
+
+def test_alltoall_flow_stats_report_busy_links():
+    stats: dict = {}
+    measure_alltoall("hoplite", 4, 8 * MB, flow_stats=stats)
+    assert stats["mean_uplink_utilization"] > 0.5
+    assert stats["bytes_by_class"]["bulk"] == 4 * 3 * 8 * MB
+    assert stats["control_messages"] > 0
+    assert len(stats["links"]) == 8  # one up + one down per node
+
+
 def test_hoplite_allgather_and_alltoall_beat_naive_plane():
     for measure in (measure_allgather, measure_alltoall):
         hoplite = measure("hoplite", 8, 16 * MB)

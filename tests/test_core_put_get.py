@@ -1,7 +1,6 @@
 """Tests for the Hoplite client API: Put, Get, Delete, and the small-object path."""
 
 import numpy as np
-import pytest
 
 from repro.core import HopliteOptions, HopliteRuntime, ObjectID, ObjectValue
 from repro.net import Cluster, NetworkConfig

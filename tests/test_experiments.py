@@ -1,7 +1,6 @@
 """Smoke tests for the experiment registry (tiny grids) and the examples."""
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest

@@ -1,7 +1,6 @@
 """System-level integration and stress tests across the whole stack."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

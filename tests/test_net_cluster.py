@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.net import Cluster, NetworkConfig
+from repro.net import Cluster
 from repro.net.failure import FailureEvent, alternating_failures, poisson_failures, schedule
 
 

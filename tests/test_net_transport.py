@@ -38,10 +38,33 @@ def test_multi_block_transfer_time_scales_with_size():
     assert finish == pytest.approx(serialization + blocks * config.latency, rel=1e-6)
 
 
-def test_zero_byte_transfer_costs_one_latency():
+def test_zero_byte_transfer_and_local_copy_are_both_free():
+    """Remote and local zero-byte moves share one contract: immediate return.
+
+    (The old model charged one propagation latency to ``transfer_bytes(0)``
+    while ``local_copy(0)`` returned immediately — an asymmetry with no
+    physical counterpart, since a zero-byte move sends nothing.)
+    """
     cluster, config = make_cluster()
     finish = run_transfer(cluster, transfer_bytes(config, cluster.node(0), cluster.node(1), 0))
-    assert finish == pytest.approx(config.latency)
+    assert finish == 0.0
+    copy_finish = run_transfer(cluster, local_copy(config, cluster.node(0), 0))
+    assert copy_finish == 0.0
+    # Negative sizes take the same immediate path.
+    negative = run_transfer(cluster, transfer_bytes(config, cluster.node(0), cluster.node(1), -1))
+    assert negative == 0.0
+
+
+def test_zero_byte_transfer_still_checks_liveness():
+    cluster, config = make_cluster()
+    cluster.node(1).fail()
+    process = cluster.sim.process(
+        transfer_bytes(config, cluster.node(0), cluster.node(1), 0)
+    )
+    cluster.run()
+    assert not process.ok
+    assert isinstance(process.value, NodeFailedError)
+    process.defused = True
 
 
 def test_sender_uplink_serializes_two_receivers():

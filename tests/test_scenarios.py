@@ -1,7 +1,5 @@
 """Tests for the benchmark scenario drivers and the reporting helpers."""
 
-import math
-
 import pytest
 
 from repro.bench import (

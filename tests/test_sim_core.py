@@ -5,11 +5,9 @@ import pytest
 from repro.sim import (
     AllOf,
     AnyOf,
-    Event,
     Interrupt,
     SimulationError,
     Simulator,
-    Timeout,
 )
 
 

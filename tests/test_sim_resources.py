@@ -4,7 +4,15 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sim import Container, PriorityResource, Resource, SimulationError, Simulator, Store
+from repro.sim import (
+    Container,
+    MultiRequest,
+    PriorityResource,
+    Resource,
+    SimulationError,
+    Simulator,
+    Store,
+)
 
 
 def test_resource_serializes_exclusive_access():
@@ -96,6 +104,113 @@ def test_priority_resource_orders_waiters():
     sim.process(user(sim, "high", 1, 0.2))
     sim.run()
     assert order == ["holder", "high", "low"]
+
+
+def test_multi_request_grants_atomically_and_holds_nothing_while_pending():
+    sim = Simulator()
+    first, second = Resource(sim, capacity=1), Resource(sim, capacity=1)
+    holder = second.request()
+    assert holder.triggered
+    joint = MultiRequest(sim, [(first, 1), (second, 1)])
+    # Pending: neither resource is held, both queues see the claim.
+    assert not joint.granted
+    assert first.in_use == 0 and second.in_use == 1
+    assert first.queue_length == 1 and second.queue_length == 1
+    second.release(holder)
+    # The moment both fit, the whole claim set is debited at once.
+    assert joint.granted
+    assert first.in_use == 1 and second.in_use == 1
+    assert first.queue_length == 0 and second.queue_length == 0
+    joint.release()
+    assert first.in_use == 0 and second.in_use == 0
+
+
+def test_multi_request_is_skipped_not_blocking_the_queue():
+    """Work conservation: a later request passes an unmatchable multi-request."""
+    sim = Simulator()
+    first, second = Resource(sim, capacity=1), Resource(sim, capacity=1)
+    holder = second.request()
+    joint = MultiRequest(sim, [(first, 1), (second, 1)])
+    assert not joint.granted
+    # A single request on the free resource is granted straight past the
+    # pending multi-request.
+    bypass = first.request()
+    assert bypass.triggered
+    first.release(bypass)
+    second.release(holder)
+    assert joint.granted
+    joint.release()
+
+
+def test_multi_request_cancel_withdraws_every_claim():
+    sim = Simulator()
+    first, second = Resource(sim, capacity=1), Resource(sim, capacity=1)
+    holder = second.request()
+    joint = MultiRequest(sim, [(first, 1), (second, 1)])
+    joint.cancel()
+    assert first.queue_length == 0 and second.queue_length == 0
+    joint.cancel()  # idempotent
+    second.release(holder)
+    # A cancelled claim is never granted, even once capacity frees up.
+    assert not joint.granted
+    assert first.in_use == 0 and second.in_use == 0
+
+
+def test_multi_request_priority_orders_admission():
+    sim = Simulator()
+    first, second = Resource(sim, capacity=1), Resource(sim, capacity=1)
+    holder = second.request()
+    low = MultiRequest(sim, [(first, 1), (second, 1)], priority=2)
+    high = MultiRequest(sim, [(first, 1), (second, 1)], priority=1)
+    second.release(holder)
+    assert high.granted and not low.granted
+    high.release()
+    assert low.granted
+    low.release()
+
+
+def test_multi_request_validation():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    with pytest.raises(SimulationError):
+        MultiRequest(sim, [])
+    with pytest.raises(SimulationError):
+        MultiRequest(sim, [(resource, 2)])
+    with pytest.raises(SimulationError):
+        MultiRequest(sim, [(resource, 1), (resource, 1)])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    holds=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2),  # src link
+            st.integers(min_value=0, max_value=2),  # dst link
+            st.floats(min_value=0.01, max_value=1.0),
+        ),
+        min_size=1,
+        max_size=14,
+    )
+)
+def test_multi_requests_never_exceed_capacity_or_leak(holds):
+    """Property: atomic pair claims respect each link's capacity and drain."""
+    sim = Simulator()
+    links = [Resource(sim, capacity=1) for _ in range(3)]
+
+    def user(sim, src, dst, hold):
+        if src == dst:
+            dst = (dst + 1) % 3
+        joint = MultiRequest(sim, [(links[src], 1), (links[dst], 1)])
+        yield joint
+        assert all(link.in_use <= link.capacity for link in links)
+        yield sim.timeout(hold)
+        joint.release()
+
+    for src, dst, hold in holds:
+        sim.process(user(sim, src, dst, hold))
+    sim.run()
+    assert all(link.in_use == 0 for link in links)
+    assert all(link.queue_length == 0 for link in links)
 
 
 def test_container_blocks_until_level_available():
