@@ -22,6 +22,8 @@ COLUMNS = [
     "dask",
     "optimal",
     "x_optimal",
+    "rack_frac",
+    "zone_frac",
 ]
 
 
@@ -36,6 +38,9 @@ def test_fig7_collectives(run_once):
         assert row["x_optimal"] > 0, row
         if row["size"] == "1GB" and row["primitive"] in ("broadcast", "reduce"):
             assert row["x_optimal"] <= 1.5, row
+        # Figure 7 runs on the default flat fabric: no shared tier link
+        # exists, so the per-tier ratio columns must be identically zero.
+        assert row["rack_frac"] == 0.0 and row["zone_frac"] == 0.0, row
 
     def rows_for(primitive):
         return [row for row in rows if row["primitive"] == primitive]

@@ -7,7 +7,25 @@ Python interpreter.  The helper below standardizes that convention.
 
 from __future__ import annotations
 
+import itertools
+
 import pytest
+
+
+@pytest.fixture(autouse=True)
+def _pinned_object_ids():
+    """Reset the process-global ObjectID counter before every benchmark.
+
+    The directory's source-selection tie-break hashes object keys, and
+    ``ObjectID.unique`` draws from one process-global counter — so a
+    benchmark's schedule (and its borderline bound assertions) would
+    otherwise depend on which benchmarks happened to run earlier in the
+    same pytest process.  Pinning the counter makes every benchmark
+    reproduce its standalone run exactly, in any batch order.
+    """
+    from repro.store import objects as objects_module
+
+    objects_module._id_counter = itertools.count()
 
 
 def pytest_addoption(parser):

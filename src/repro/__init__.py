@@ -24,6 +24,7 @@ from repro.core.options import HopliteOptions
 from repro.core.runtime import HopliteRuntime
 from repro.net.cluster import Cluster
 from repro.net.config import NetworkConfig
+from repro.net.topology import Topology
 from repro.store.objects import ObjectID, ObjectValue, ReduceOp
 
 __version__ = "1.0.0"
@@ -37,5 +38,6 @@ __all__ = [
     "ObjectID",
     "ObjectValue",
     "ReduceOp",
+    "Topology",
     "__version__",
 ]

@@ -98,12 +98,17 @@ def collective_rows(
     node_counts: Sequence[int],
     primitives: Sequence[str] = ("broadcast", "gather", "reduce", "allreduce"),
     systems_by_primitive: Optional[dict] = None,
+    network: Optional[NetworkConfig] = None,
 ) -> list[dict]:
     """Latency of each collective for each (size, node count, system).
 
     Every row also carries the collective's pipelined analytical optimum
-    (the scenario drivers' ``"optimal"`` system) and Hoplite's ratio to it
-    (``x_optimal``), so the tables read directly as closeness-to-bound.
+    (the scenario drivers' ``"optimal"`` system), Hoplite's ratio to it
+    (``x_optimal``), and the per-tier traffic ratios of the Hoplite run
+    (``rack_frac`` / ``zone_frac``: the fraction of NIC bytes that also
+    crossed a rack uplink / inter-zone link — identically zero on the
+    default flat fabric), so the tables read directly as
+    closeness-to-bound plus fabric footprint.
     """
     systems_by_primitive = systems_by_primitive or _FIG7_SYSTEMS
     rows = []
@@ -118,11 +123,17 @@ def collective_rows(
                 }
                 for system in systems_by_primitive.get(primitive, ("hoplite",)):
                     try:
-                        row[system] = measure(system, num_nodes, size)
+                        kwargs: dict = {"network": network}
+                        if system == "hoplite":
+                            kwargs["flow_stats"] = flow_stats = {}
+                        row[system] = measure(system, num_nodes, size, **kwargs)
+                        if system == "hoplite":
+                            row["rack_frac"] = flow_stats.get("cross_rack_fraction", 0.0)
+                            row["zone_frac"] = flow_stats.get("cross_zone_fraction", 0.0)
                     except Exception:  # noqa: BLE001 - unsupported combination
                         row[system] = float("nan")
                 try:
-                    row["optimal"] = measure("optimal", num_nodes, size)
+                    row["optimal"] = measure("optimal", num_nodes, size, network=network)
                 except Exception:  # noqa: BLE001 - no analytic optimum
                     row["optimal"] = float("nan")
                 hoplite = row.get("hoplite", float("nan"))

@@ -79,7 +79,7 @@ class UnsupportedScenarioError(ValueError):
 
 @dataclass
 class LinkUsage:
-    """Utilization of one NIC direction over a scenario run."""
+    """Utilization of one link direction over a scenario run."""
 
     node_id: int
     direction: str
@@ -89,16 +89,27 @@ class LinkUsage:
     bytes_by_class: dict[str, int]
     #: number of reservations granted on this link.
     reservations: int
+    #: ``nic`` for NIC directions; the fabric tier (``rack_up``/``rack_down``/
+    #: ``zone_up``/``zone_down``) for shared aggregation links (``node_id``
+    #: is ``-1`` for those).
+    tier: str = "nic"
 
 
 def collect_flow_usage(cluster: Cluster) -> dict:
     """Per-link and aggregate flow statistics for a finished scenario.
 
-    Returns a dict with ``links`` (a :class:`LinkUsage` per NIC direction),
-    ``bytes_by_class`` (uplink-side aggregate, so bytes are not counted twice),
-    ``mean_uplink_utilization`` / ``max_uplink_utilization``, and the number
-    of ``control_messages`` the control plane sent.  Utilization is measured
-    over the whole simulated run (``cluster.now``).
+    Returns a dict with ``links`` (a :class:`LinkUsage` per NIC direction
+    and per shared fabric link), ``bytes_by_class`` (uplink-side aggregate,
+    so bytes are not counted twice), ``mean_uplink_utilization`` /
+    ``max_uplink_utilization``, the number of ``control_messages`` the
+    control plane sent, and the per-tier rollup: ``tier_bytes`` /
+    ``tier_busy_time`` keyed by ``nic`` (NIC uplinks), ``rack_uplink`` (ToR
+    uplinks) and ``inter_zone`` (zone uplinks) — each tier counted on its
+    egress side only, so a byte is counted once per tier it crossed — plus
+    the derived ``cross_rack_fraction`` / ``cross_zone_fraction`` of NIC
+    bytes that also crossed that tier.  On the flat topology the fabric
+    tiers are identically zero.  Utilization is measured over the whole
+    simulated run (``cluster.now``).
     """
     elapsed = cluster.now
     links: list[LinkUsage] = []
@@ -123,6 +134,34 @@ def collect_flow_usage(cluster: Cluster) -> dict:
             bytes_by_class[cls.name.lower()] += count
         uplink_utils.append(node.uplink_sched.utilization(elapsed))
         control_messages += node.uplink_sched.control_messages
+
+    nic_bytes = sum(bytes_by_class.values())
+    tier_bytes = {"nic": nic_bytes, "rack_uplink": 0, "inter_zone": 0}
+    tier_busy_time = {
+        "nic": sum(node.uplink_sched.busy_time for node in cluster.nodes),
+        "rack_uplink": 0.0,
+        "inter_zone": 0.0,
+    }
+    egress_tiers = {"rack_up": "rack_uplink", "zone_up": "inter_zone"}
+    for link in cluster.fabric.iter_links():
+        links.append(
+            LinkUsage(
+                node_id=-1,
+                direction=link.name,
+                utilization=link.sched.utilization(elapsed),
+                bytes_by_class={
+                    cls.name.lower(): count
+                    for cls, count in link.sched.bytes_by_class.items()
+                },
+                reservations=link.sched.reservations_granted,
+                tier=link.tier,
+            )
+        )
+        tier = egress_tiers.get(link.tier)
+        if tier is not None:
+            tier_bytes[tier] += sum(link.sched.bytes_by_class.values())
+            tier_busy_time[tier] += link.sched.busy_time
+
     return {
         "elapsed": elapsed,
         "links": links,
@@ -132,7 +171,39 @@ def collect_flow_usage(cluster: Cluster) -> dict:
         ),
         "max_uplink_utilization": max(uplink_utils, default=0.0),
         "control_messages": control_messages,
+        "tier_bytes": tier_bytes,
+        "tier_busy_time": tier_busy_time,
+        "cross_rack_fraction": (
+            tier_bytes["rack_uplink"] / nic_bytes if nic_bytes else 0.0
+        ),
+        "cross_zone_fraction": (
+            tier_bytes["inter_zone"] / nic_bytes if nic_bytes else 0.0
+        ),
     }
+
+
+def rack_interleaved_delays(
+    num_racks: int, nodes_per_rack: int, eps: float = 2e-4
+) -> list[float]:
+    """Per-node arrival delays whose order round-robins across racks.
+
+    Synchronized id-ordered arrival happens to build rack-contiguous
+    broadcast chains and reduce trees even without topology awareness; this
+    arrival pattern models placement *uncorrelated* with node ids — node 0,
+    then the first node of every other rack, then everyone's second node,
+    and so on, ``eps`` apart — which is where topology-oblivious trees
+    scatter their edges across the shared tier links.  Used by the topology
+    benchmarks, the regression tests, and the example.
+    """
+    order = [
+        rack * nodes_per_rack + index
+        for index in range(nodes_per_rack)
+        for rack in range(num_racks)
+    ]
+    delays = [0.0] * (num_racks * nodes_per_rack)
+    for position, node_id in enumerate(order):
+        delays[node_id] = position * eps
+    return delays
 
 
 def _check_system(system: str) -> None:
@@ -240,12 +311,15 @@ def measure_broadcast(
     arrival_delays: Optional[Sequence[float]] = None,
     network: Optional[NetworkConfig] = None,
     options: Optional[HopliteOptions] = None,
+    flow_stats: Optional[dict] = None,
 ) -> float:
     """Latency of broadcasting one object from node 0 to all other nodes.
 
     For the static systems the per-rank ``arrival_delays`` (or the uniform
     ``arrival_interval``) cover all ``num_nodes`` ranks including the root;
     for the object-plane systems they cover the ``num_nodes - 1`` receivers.
+    If ``flow_stats`` is given (a dict), it is filled with the run's per-flow
+    link utilization report (see :func:`collect_flow_usage`).
     """
     _check_system(system)
     network = network or NetworkConfig()
@@ -276,6 +350,8 @@ def measure_broadcast(
         for rank in range(num_nodes):
             sim.process(_rank(rank, delays[rank]), name=f"bcast-rank-{rank}")
         sim.run()
+        if flow_stats is not None:
+            flow_stats.update(collect_flow_usage(cluster))
         return max(finish_times)
 
     plane = _make_plane(system, cluster, options)
@@ -305,6 +381,8 @@ def measure_broadcast(
 
     sim.process(_scenario(), name="bcast-scenario")
     sim.run()
+    if flow_stats is not None:
+        flow_stats.update(collect_flow_usage(cluster))
     return max(finish_times)
 
 
@@ -319,6 +397,7 @@ def measure_gather(
     nbytes: int,
     network: Optional[NetworkConfig] = None,
     options: Optional[HopliteOptions] = None,
+    flow_stats: Optional[dict] = None,
 ) -> float:
     """Latency for node 0 to gather one object from every other node."""
     _check_system(system)
@@ -345,6 +424,8 @@ def measure_gather(
         for rank in range(num_nodes):
             sim.process(_rank(rank), name=f"gather-rank-{rank}")
         sim.run()
+        if flow_stats is not None:
+            flow_stats.update(collect_flow_usage(cluster))
         return max(finishes)
 
     plane = _make_plane(system, cluster, options)
@@ -374,6 +455,8 @@ def measure_gather(
 
     sim.process(_scenario(), name="gather-scenario")
     sim.run()
+    if flow_stats is not None:
+        flow_stats.update(collect_flow_usage(cluster))
     return result["latency"]
 
 
@@ -390,6 +473,7 @@ def measure_reduce(
     arrival_delays: Optional[Sequence[float]] = None,
     network: Optional[NetworkConfig] = None,
     options: Optional[HopliteOptions] = None,
+    flow_stats: Optional[dict] = None,
 ) -> float:
     """Latency of reducing one object per node into a single result at the caller.
 
@@ -426,6 +510,8 @@ def measure_reduce(
         for rank in range(num_nodes):
             sim.process(_rank(rank, delays[rank]), name=f"reduce-rank-{rank}")
         sim.run()
+        if flow_stats is not None:
+            flow_stats.update(collect_flow_usage(cluster))
         return finishes[0]
 
     plane = _make_plane(system, cluster, options)
@@ -462,6 +548,8 @@ def measure_reduce(
 
     sim.process(_scenario(), name="reduce-scenario")
     sim.run()
+    if flow_stats is not None:
+        flow_stats.update(collect_flow_usage(cluster))
     return result["latency"]
 
 
@@ -478,6 +566,7 @@ def measure_allreduce(
     arrival_delays: Optional[Sequence[float]] = None,
     network: Optional[NetworkConfig] = None,
     options: Optional[HopliteOptions] = None,
+    flow_stats: Optional[dict] = None,
 ) -> float:
     """Latency for every node to hold the reduction of one object per node.
 
@@ -519,6 +608,8 @@ def measure_allreduce(
         for rank in range(num_nodes):
             sim.process(_rank(rank, delays[rank]), name=f"allreduce-rank-{rank}")
         sim.run()
+        if flow_stats is not None:
+            flow_stats.update(collect_flow_usage(cluster))
         return max(finishes)
 
     plane = _make_plane(system, cluster, options)
@@ -561,6 +652,8 @@ def measure_allreduce(
 
     sim.process(_scenario(), name="allreduce-scenario")
     sim.run()
+    if flow_stats is not None:
+        flow_stats.update(collect_flow_usage(cluster))
     return result["latency"]
 
 

@@ -73,6 +73,11 @@ class TaskSystemPlane(CommPlane):
                 enable_pipelining=False,
                 enable_small_object_cache=False,
                 enable_dynamic_broadcast=False,
+                # The baselines share the fabric (their transfers claim the
+                # same tier links) but place transfers obliviously: no
+                # locality-sorted source selection, no rack-local parking,
+                # no hierarchical reduce.
+                topology_aware=False,
             ),
         )
 

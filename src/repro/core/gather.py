@@ -96,7 +96,27 @@ class AllGatherExecution:
 
     def _fetch_order(self) -> list[ObjectID]:
         pivot = (self.node.node_id + 1) % len(self.source_ids)
-        return self.source_ids[pivot:] + self.source_ids[:pivot]
+        order = self.source_ids[pivot:] + self.source_ids[:pivot]
+        topology = self.runtime.cluster.topology
+        if not self.runtime.options.topology_aware or topology.is_flat:
+            return order
+        # Rack-aware refinement: pull remote-rack objects first (each pull
+        # drags one copy across the shared tier links while they are least
+        # contended, after which rack-mates relay it locally), and leave
+        # same-rack objects — cheap intra-rack relays that stay available —
+        # for last.  The rotation is preserved inside each group, so the
+        # de-synchronization across participants survives.
+        directory = self.runtime.directory
+        my_rack = topology.rack_of(self.node.node_id)
+        remote: list[ObjectID] = []
+        local: list[ObjectID] = []
+        for object_id in order:
+            rack_local = any(
+                topology.rack_of(node_id) == my_rack
+                for node_id in directory.locations_of(object_id)
+            )
+            (local if rack_local else remote).append(object_id)
+        return remote + local
 
     def run(self) -> Generator:
         queue = list(self._fetch_order())

@@ -1,0 +1,280 @@
+"""Hierarchical (rack-aware) reduce for oversubscribed fabrics.
+
+A flat dynamic reduce tree (Section 3.4.2) places edges by arrival order, so
+on a multi-rack fabric most tree edges cross rack boundaries and every one
+of them claims a slot on the shared ToR uplinks — at 4:1 oversubscription the
+whole tree serializes behind one or two tier slots.  The hierarchical
+composition reduces each rack's sources *inside* the rack first (no shared
+link touched), then runs one inter-rack tree over the per-rack partials, so
+exactly one stream leaves each rack:
+
+    intra-rack reduce  →  inter-rack tree  →  (receivers ``Get`` the target,
+    which the locality-aware directory turns into one cross-rack copy per
+    rack followed by intra-rack relays — the broadcast half of allreduce)
+
+Both phases are ordinary :class:`~repro.core.reduce.ReduceExecution`s, so
+fine-grained block pipelining crosses the phase boundary for free: a rack
+root publishes its partial location the moment it starts producing, and the
+inter-rack tree streams those blocks while the rack trees are still
+reducing.  Failure repair is inherited per phase — a dead rack member is
+replaced inside its rack's tree, a dead rack root re-publishes through the
+rack tree's own repair and the top tree re-resolves it through the
+directory.
+
+The composition is transparent to callers and to the lineage layer:
+:func:`~repro.core.reduce.adopt_or_create_reduction` picks it automatically
+(``HopliteOptions(topology_aware=True)`` on a multi-rack topology), it
+registers in ``runtime.active_reductions`` under the original target like a
+flat execution, and a re-executed caller adopts the surviving composition
+instead of racing a duplicate.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional, Sequence
+
+from repro.core.reduce import ReduceExecution, ReduceResult
+from repro.net.node import Node
+from repro.net.transport import TransferError
+from repro.sim import Event, Interrupt, Process
+from repro.store.objects import ObjectID, ReduceOp
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.runtime import HopliteRuntime
+
+
+class HierarchicalReduceExecution:
+    """Coordinator for one rack-aware Reduce call.
+
+    Duck-type compatible with :class:`~repro.core.reduce.ReduceExecution`
+    where the rest of the system touches executions: re-entrant :meth:`run`,
+    :meth:`abort`, and the ``source_ids`` / ``op`` / ``num_objects`` /
+    ``aborted`` attributes the adoption check compares.
+    """
+
+    def __init__(
+        self,
+        runtime: "HopliteRuntime",
+        caller: Node,
+        target_id: ObjectID,
+        source_ids: Sequence[ObjectID],
+        op: ReduceOp,
+        num_objects: Optional[int] = None,
+    ):
+        if not source_ids:
+            raise ValueError("Reduce requires at least one source object")
+        self.runtime = runtime
+        self.sim = runtime.sim
+        self.config = runtime.config
+        self.caller = caller
+        self.target_id = target_id
+        self.source_ids = list(source_ids)
+        self.op = op
+        self.num_objects = num_objects if num_objects is not None else len(self.source_ids)
+        if self.num_objects <= 0 or self.num_objects > len(self.source_ids):
+            raise ValueError(
+                f"num_objects must be in [1, {len(self.source_ids)}], got {num_objects}"
+            )
+        self.degree: Optional[int] = None
+        #: rack index -> the intra-rack phase execution.
+        self.rack_executions: dict[int, ReduceExecution] = {}
+        #: the inter-rack tree (or the flat fallback when grouping degenerates).
+        self.top_execution: Optional[ReduceExecution] = None
+        self._finished = Event(self.sim)
+        self._driver: Optional[Process] = None
+        self._result: Optional[ReduceResult] = None
+        self.aborted = False
+        self.abort_reason = ""
+
+    # -- public entry point --------------------------------------------------
+    def run(self) -> Generator:
+        """Wait for the composed reduce; starts the driver if needed.
+
+        Re-entrant, like the flat execution: the original caller and any
+        lineage re-execution adopting this composition all get the same
+        result.
+        """
+        self._ensure_driver()
+        yield self._finished
+        if self.aborted:
+            raise TransferError(
+                f"reduce toward {self.target_id} was aborted: {self.abort_reason}"
+            )
+        return self._result
+
+    def _ensure_driver(self) -> None:
+        if self._driver is not None or self._finished.triggered:
+            return
+        registry = self.runtime.active_reductions
+        registry[self.target_id] = self
+
+        def _deregister(_event) -> None:
+            if registry.get(self.target_id) is self:
+                del registry[self.target_id]
+
+        self._finished.add_callback(_deregister)
+        self._driver = self.runtime.orchestration.spawn(
+            self._drive(),
+            name=f"hier-reduce-drive-{self.target_id}",
+            owner=self.target_id,
+        )
+
+    def abort(self, reason: str = "") -> None:
+        """Tear down both phases (called by the framework on permanent failure)."""
+        if self._finished.triggered:
+            return
+        self.aborted = True
+        self.abort_reason = reason or "aborted"
+        if self._driver is not None and self._driver.is_alive:
+            self._driver.interrupt("hierarchical reduce aborted")
+        for execution in list(self.rack_executions.values()):
+            execution.abort(self.abort_reason)
+        if self.top_execution is not None:
+            self.top_execution.abort(self.abort_reason)
+        self._finished.succeed(None)
+
+    # -- coordination --------------------------------------------------------
+    def _drive(self) -> Generator:
+        try:
+            groups = yield from self._group_sources()
+            if len(groups) <= 1 or max(len(ids) for ids in groups.values()) <= 1:
+                # Degenerate hierarchy — every source in one rack, or one
+                # source per rack: a single dynamic tree is already optimal.
+                # The flat execution takes over the registry entry (it is
+                # adoptable under the exact same signature).
+                inner = ReduceExecution(
+                    self.runtime,
+                    self.caller,
+                    self.target_id,
+                    self.source_ids,
+                    self.op,
+                    num_objects=self.num_objects,
+                )
+                self.top_execution = inner
+                result = yield from inner.run()
+                self._complete(result, result.reduced_ids)
+                return
+
+            nonce = self.runtime.hierarchical_reduce_seq
+            self.runtime.hierarchical_reduce_seq += 1
+            top_sources: list[ObjectID] = []
+            for rack in sorted(groups):
+                ids = groups[rack]
+                if len(ids) == 1:
+                    top_sources.append(ids[0])
+                    continue
+                rack_target = self.target_id.derived(f"hier{nonce}-rack{rack}")
+                rack_execution = ReduceExecution(
+                    self.runtime,
+                    self._rack_caller(rack),
+                    rack_target,
+                    ids,
+                    self.op,
+                )
+                self.rack_executions[rack] = rack_execution
+                rack_execution._ensure_driver()
+                self.runtime.orchestration.record_partial(self.target_id, rack_target)
+                top_sources.append(rack_target)
+
+            top = ReduceExecution(
+                self.runtime, self.caller, self.target_id, top_sources, self.op
+            )
+            self.top_execution = top
+            top._ensure_driver()
+            # The top tree registered itself under the target; put the
+            # composition back so lineage re-executions (which re-issue the
+            # *original* source list) adopt it instead of mismatching.
+            self.runtime.active_reductions[self.target_id] = self
+            result = yield from top.run()
+
+            reduced: set[ObjectID] = set()
+            for rack_execution in self.rack_executions.values():
+                reduced.update(
+                    state.object_id
+                    for state in rack_execution.slots
+                    if state.object_id is not None
+                )
+            source_set = set(self.source_ids)
+            reduced.update(oid for oid in result.reduced_ids if oid in source_set)
+            self._complete(result, sorted(reduced, key=lambda oid: oid.key))
+        except Interrupt:
+            return
+        except TransferError:
+            # A phase was aborted under us; propagate unless someone already
+            # finished or aborted the composition itself.
+            if not self._finished.triggered:
+                self.abort("reduce phase aborted")
+        except Exception as exc:  # noqa: BLE001 - nobody awaits this process
+            self.abort(f"driver error: {exc!r}")
+
+    def _complete(self, result: ReduceResult, reduced_ids) -> None:
+        reduced = list(reduced_ids)
+        reduced_set = set(reduced)
+        self.degree = result.degree
+        self._result = ReduceResult(
+            target_id=self.target_id,
+            reduced_ids=reduced,
+            unreduced_ids=[oid for oid in self.source_ids if oid not in reduced_set],
+            degree=result.degree,
+            root_node_id=result.root_node_id,
+            completion_time=result.completion_time,
+        )
+        if not self._finished.triggered:
+            self._finished.succeed(self._result)
+
+    # -- grouping ------------------------------------------------------------
+    def _group_sources(self) -> Generator:
+        """Bin the first ``num_objects`` ready sources by hosting rack.
+
+        In the synchronized case (every ``Put`` done before the Reduce) all
+        creation events have already fired and this costs zero simulated
+        time; with staggered arrivals the hierarchy waits for the last
+        needed arrival before fixing the rack membership.
+        """
+        directory = self.runtime.directory
+        groups: dict[int, list[ObjectID]] = {}
+        remaining = list(self.source_ids)
+        located = 0
+        while located < self.num_objects:
+            events = [(oid, directory.creation_event(oid)) for oid in remaining]
+            yield self.sim.any_of([event for _oid, event in events])
+            progress = False
+            still: list[ObjectID] = []
+            for oid, event in events:
+                rack = None
+                if event.triggered and located < self.num_objects:
+                    rack = self._rack_of_object(oid)
+                if rack is None:
+                    still.append(oid)
+                else:
+                    groups.setdefault(rack, []).append(oid)
+                    located += 1
+                    progress = True
+            remaining = still
+            if not progress:
+                # A source was created but its only copy died with its node;
+                # wait out a detection delay for reconstruction to re-Put it.
+                yield self.sim.timeout(self.config.failure_detection_delay)
+        return groups
+
+    def _rack_of_object(self, object_id: ObjectID) -> Optional[int]:
+        """The rack hosting the object's best alive copy (``None`` if lost)."""
+        topology = self.runtime.cluster.topology
+        locations = self.runtime.directory.locations_of(object_id)
+        for info in sorted(locations.values(), key=lambda i: (not i.complete, i.node_id)):
+            if self.runtime.node(info.node_id).alive:
+                return topology.rack_of(info.node_id)
+        record = self.runtime.directory.peek_record(object_id)
+        if record is not None and record.inline_value is not None:
+            # Inline-cached small object: fetchable from anywhere; group it
+            # with the caller so it never forces a cross-rack stream.
+            return topology.rack_of(self.caller.node_id)
+        return None
+
+    def _rack_caller(self, rack: int) -> Node:
+        """A representative alive node inside ``rack`` (the caller if none)."""
+        for node_id in self.runtime.cluster.topology.rack_nodes(rack):
+            node = self.runtime.node(node_id)
+            if node.alive:
+                return node
+        return self.caller

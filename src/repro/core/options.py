@@ -34,6 +34,14 @@ class HopliteOptions:
             tie-break among equally loaded transfer sources.  Any fixed seed
             makes a run byte-for-byte reproducible; varying it varies the
             broadcast-tree shapes without losing replayability.
+        topology_aware: exploit the cluster's fabric hierarchy: the
+            directory prefers same-rack (then same-zone) transfer sources,
+            broadcast relays accordingly stay inside a rack after one
+            cross-rack copy, multi-rack reduces run hierarchically
+            (intra-rack trees feeding an inter-rack tree), and allgather
+            participants pull remote-rack objects first.  On the flat
+            topology this switch changes nothing; ``False`` keeps the
+            topology-oblivious behaviour as an ablation.
     """
 
     enable_pipelining: bool = True
@@ -42,6 +50,7 @@ class HopliteOptions:
     reduce_degree: Optional[int] = None
     candidate_reduce_degrees: Sequence[int] = (1, 2, 0)
     source_selection_seed: int = 0
+    topology_aware: bool = True
 
     def __post_init__(self) -> None:
         if self.reduce_degree is not None and self.reduce_degree < 0:

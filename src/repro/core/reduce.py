@@ -203,7 +203,7 @@ def adopt_or_create_reduction(
     source_ids: Sequence[ObjectID],
     op: ReduceOp,
     num_objects: Optional[int] = None,
-) -> "ReduceExecution":
+):
     """The execution for ``target_id``: the surviving one, or a fresh one.
 
     A re-executed caller (Section 6 lineage re-execution) that issues the
@@ -212,18 +212,31 @@ def adopt_or_create_reduction(
     streaming — rather than race a duplicate tree over the same target.
     Only an execution with the same sources and operator is adoptable; an
     aborted or mismatched one is replaced.
+
+    On a multi-rack topology with ``HopliteOptions(topology_aware=True)``
+    fresh executions are the rack-aware hierarchical composition
+    (:class:`~repro.core.hierarchical.HierarchicalReduceExecution`: one
+    intra-rack tree per rack feeding one inter-rack tree); everywhere else —
+    notably the flat default — they are the plain dynamic tree.
     """
+    num = num_objects if num_objects is not None else len(list(source_ids))
     existing = runtime.active_reductions.get(target_id)
     if (
-        isinstance(existing, ReduceExecution)
+        existing is not None
         and not existing.aborted
         and existing.op is op
         and list(existing.source_ids) == list(source_ids)
-        and existing.num_objects
-        == (num_objects if num_objects is not None else len(list(source_ids)))
+        and existing.num_objects == num
     ):
         runtime.reduce_adoptions += 1
         return existing
+    topology = runtime.cluster.topology
+    if runtime.options.topology_aware and topology.num_racks > 1 and num >= 3:
+        from repro.core.hierarchical import HierarchicalReduceExecution
+
+        return HierarchicalReduceExecution(
+            runtime, caller, target_id, source_ids, op, num_objects=num_objects
+        )
     return ReduceExecution(
         runtime, caller, target_id, source_ids, op, num_objects=num_objects
     )

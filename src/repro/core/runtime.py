@@ -83,7 +83,9 @@ class HopliteRuntime:
         self.config = cluster.config
         self.options = options or HopliteOptions()
         self.directory = ObjectDirectory(
-            cluster, selection_seed=self.options.source_selection_seed
+            cluster,
+            selection_seed=self.options.source_selection_seed,
+            topology_aware=self.options.topology_aware,
         )
         self.stores: dict[int, LocalObjectStore] = {
             node.node_id: LocalObjectStore(node, self.config, store_capacity_bytes)
@@ -103,6 +105,10 @@ class HopliteRuntime:
         self.active_reductions: dict[ObjectID, object] = {}
         #: number of Reduce calls answered by adopting an in-flight execution.
         self.reduce_adoptions = 0
+        #: monotone nonce for hierarchical-reduce intermediate object ids;
+        #: per-runtime (not global) so repeated runs inside one process stay
+        #: byte-for-byte reproducible.
+        self.hierarchical_reduce_seq = 0
 
     # -- accessors -------------------------------------------------------------
     def store(self, node: Node | int) -> LocalObjectStore:

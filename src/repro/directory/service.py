@@ -53,13 +53,22 @@ class ObjectDirectory:
     must be driven from a simulation process (``yield from``).
     """
 
-    def __init__(self, cluster: Cluster, selection_seed: int = 0):
+    def __init__(
+        self,
+        cluster: Cluster,
+        selection_seed: int = 0,
+        topology_aware: bool = True,
+    ):
         self.cluster = cluster
         self.sim = cluster.sim
         self.config = cluster.config
         #: seed of the deterministic tie-break among equally loaded sources
         #: (see :meth:`_eligible_sources`).
         self.selection_seed = int(selection_seed)
+        #: prefer closer sources (same rack, then same zone) on hierarchical
+        #: fabrics.  On the flat topology every pair is equidistant, so the
+        #: flag cannot change the selection order there.
+        self.topology_aware = bool(topology_aware) and not cluster.topology.is_flat
         num_shards = min(self.config.num_directory_shards, len(cluster.nodes))
         #: node that hosts each shard (round-robin placement).
         self.shard_nodes: list[Node] = [
@@ -282,10 +291,21 @@ class ObjectDirectory:
             if requester_id in self._dependency_chain(record, info.node_id):
                 continue
             sources.append(info)
-        # Prefer complete copies over partial ones, then idle uplinks over
+        # Prefer complete copies over partial ones, then — on a hierarchical
+        # fabric — closer copies over farther ones (same rack before same
+        # zone before cross-zone: a same-rack pull costs no shared tier
+        # slot, so one cross-rack transfer per rack suffices and the rest of
+        # the broadcast tree relays inside the rack), then idle uplinks over
         # busy ones: when many objects disseminate concurrently (allgather,
         # alltoall) this spreads the transfers across distinct senders
         # instead of convoying them through the lowest-numbered node.
+        topology = self.cluster.topology
+
+        def _distance(info: LocationInfo) -> int:
+            if not self.topology_aware:
+                return 0
+            return topology.distance(requester_id, info.node_id)
+
         def _load(info: LocationInfo) -> int:
             uplink = self.cluster.nodes[info.node_id].uplink
             return uplink.in_use + uplink.queue_length
@@ -304,9 +324,51 @@ class ObjectDirectory:
             return int.from_bytes(digest, "big")
 
         sources.sort(
-            key=lambda info: (not info.complete, _load(info), _tie_break(info), info.node_id)
+            key=lambda info: (
+                not info.complete,
+                _distance(info),
+                _load(info),
+                _tie_break(info),
+                info.node_id,
+            )
         )
         return sources
+
+    def _rack_local_copy_pending(
+        self, record: DirectoryRecord, requester_id: int, exclude
+    ) -> bool:
+        """Whether a same-rack copy exists but is currently unavailable.
+
+        A copy checked out to another receiver (or a partial already fully
+        claimed) will come back to the location table when that transfer
+        finishes; a topology-aware requester whose best *eligible* source is
+        cross-rack prefers to wait for the rack-local one rather than burn a
+        scarce shared tier slot — this is what keeps a rack-aware broadcast
+        at one cross-rack transfer per rack.  Dead, excluded, and
+        cycle-dependent copies (a chain through the requester itself) never
+        count.  The wait itself is *bounded* by the caller (one failure-
+        detection delay): a partial whose producing fetch silently died —
+        e.g. its node failed and recovered mid-transfer — would otherwise
+        park a whole rack of requesters forever, each seeing the others'
+        frozen partials as "pending".
+        """
+        topology = self.cluster.topology
+        view = dict(record.locations)
+        for info in record.checked_out.values():
+            view.setdefault(info.node_id, info)
+        for info in view.values():
+            if info.node_id == requester_id:
+                continue
+            if not topology.same_rack(requester_id, info.node_id):
+                continue
+            if self._is_excluded(info.node_id, exclude):
+                continue
+            if not self.cluster.nodes[info.node_id].alive:
+                continue
+            if requester_id in self._dependency_chain(record, info.node_id):
+                continue
+            return True
+        return False
 
     def acquire_transfer_source(
         self,
@@ -324,13 +386,56 @@ class ObjectDirectory:
         ``exclude`` may be a ``node_id -> incarnation`` mapping (see
         :meth:`_is_excluded`); eligibility is re-evaluated every time the
         record changes, so exclusions lapse when excluded nodes recover.
+
+        Topology-aware mode additionally parks a requester whose best
+        eligible source is in another rack while a same-rack copy is merely
+        *busy* (see :meth:`_rack_local_copy_pending`).  That park is bounded
+        by one full service of the object (its serialization time, floored
+        by ``failure_detection_delay``): a live busy copy returns to the
+        table within that budget, after which the requester stops insisting
+        on locality and takes the best eligible source wherever it lives —
+        so a rack whose local copies are all frozen (producers dead)
+        degrades to cross-rack fetches instead of deadlocking on its own
+        ghost partials.
         """
         yield from self._rpc(requester, object_id)
         self.lookup_count += 1
         record = self._record(object_id)
+        #: absolute time at which this acquire stops insisting on locality;
+        #: fixed when the first park begins, so record churn (other
+        #: receivers checking copies in and out keeps re-firing the waiter)
+        #: cannot restart the window.  The budget covers one full service of
+        #: the object — a *live* busy copy returns to the table within its
+        #: serialization time, while a ghost partial (producer silently
+        #: gone) never does and the requester degrades to cross-rack — with
+        #: the failure-detection delay as the floor for small objects.
+        locality_deadline: Optional[float] = None
         while True:
             sources = self._eligible_sources(record, requester.node_id, exclude)
-            if sources:
+            hold_for_rack = bool(
+                sources
+                and self.topology_aware
+                and not self.cluster.topology.same_rack(
+                    requester.node_id, sources[0].node_id
+                )
+                and self._rack_local_copy_pending(record, requester.node_id, exclude)
+            )
+            if hold_for_rack:
+                if locality_deadline is None:
+                    # One full service of the object plus the detection
+                    # delay as slack: a busy rack-local copy is released at
+                    # the end of its current stream, which takes exactly
+                    # one serialization time — an expiry equal to it would
+                    # race the release and lose by a propagation delay.
+                    budget = (
+                        self.config.failure_detection_delay
+                        + self.config.transmission_time(record.size or 0)
+                        + self.config.latency
+                    )
+                    locality_deadline = self.sim.now + budget
+                elif self.sim.now >= locality_deadline:
+                    hold_for_rack = False
+            if sources and not hold_for_rack:
                 chosen = sources[0]
                 del record.locations[chosen.node_id]
                 record.checked_out[requester.node_id] = chosen
@@ -346,7 +451,14 @@ class ObjectDirectory:
             event = Event(self.sim)
             record.availability_waiters.append(event)
             record.waiters.append(event)
-            yield event
+            if hold_for_rack:
+                # Re-evaluate on any record change, or when the locality
+                # deadline expires — whichever comes first.
+                yield self.sim.any_of(
+                    [event, self.sim.timeout(locality_deadline - self.sim.now)]
+                )
+            else:
+                yield event
 
     def release_transfer_source(
         self,

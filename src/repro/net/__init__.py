@@ -17,10 +17,13 @@ from repro.net.cluster import Cluster
 from repro.net.config import NetworkConfig
 from repro.net.flowsched import Flow, FlowClass, FlowTransport, LinkScheduler, Reservation
 from repro.net.node import Node
+from repro.net.topology import Fabric, FabricLink, Topology
 from repro.net.transport import NodeFailedError, TransferError, transfer_bytes
 
 __all__ = [
     "Cluster",
+    "Fabric",
+    "FabricLink",
     "Flow",
     "FlowClass",
     "FlowTransport",
@@ -29,6 +32,7 @@ __all__ = [
     "Node",
     "NodeFailedError",
     "Reservation",
+    "Topology",
     "TransferError",
     "transfer_bytes",
 ]

@@ -6,15 +6,20 @@ from typing import Iterable, Optional
 
 from repro.net.config import ClusterSpec, NetworkConfig
 from repro.net.node import Node
+from repro.net.topology import Fabric, Topology
 from repro.sim import Simulator
 
 
 class Cluster:
-    """A uniform cluster of simulated nodes.
+    """A cluster of simulated nodes on a (possibly hierarchical) fabric.
 
     The cluster owns the :class:`~repro.sim.Simulator` so that every
     subsystem built on top (object stores, the directory, Hoplite, the
-    baselines, and the task system) shares a single virtual clock.
+    baselines, and the task system) shares a single virtual clock.  The
+    fabric defaults to :meth:`Topology.flat` (the paper's uniform testbed);
+    a hierarchical :class:`~repro.net.topology.Topology` — passed directly
+    or through ``NetworkConfig(topology=...)`` — instantiates shared rack
+    and zone aggregation links that cross-tier reservations must claim.
 
     Example::
 
@@ -29,16 +34,24 @@ class Cluster:
         network: Optional[NetworkConfig] = None,
         workers_per_node: int = 4,
         simulator: Optional[Simulator] = None,
+        topology: Optional[Topology] = None,
     ):
         if num_nodes <= 0:
             raise ValueError("a cluster needs at least one node")
         self.config = network or NetworkConfig()
+        self.topology = topology or self.config.topology or Topology.flat(num_nodes)
+        if self.topology.num_nodes != num_nodes:
+            raise ValueError(
+                f"topology spans {self.topology.num_nodes} nodes "
+                f"but the cluster has {num_nodes}"
+            )
         self.spec = ClusterSpec(
             num_nodes=num_nodes,
             workers_per_node=workers_per_node,
             network=self.config,
         )
         self.sim = simulator or Simulator()
+        self.fabric = Fabric(self.sim, self.topology, self.config)
         self.nodes: list[Node] = [
             Node(self.sim, node_id, cluster=self) for node_id in range(num_nodes)
         ]

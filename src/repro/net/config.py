@@ -3,6 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.net.topology import Topology
 
 
 @dataclass(frozen=True)
@@ -36,6 +40,10 @@ class NetworkConfig:
             then queue on the downlink — which reintroduces head-of-line
             blocking at busy receivers (kept as an ablation and for the HOL
             regression test).
+        topology: hierarchical fabric shape
+            (:class:`~repro.net.topology.Topology`); ``None`` means the flat
+            single-rack fabric matching the paper's testbed.  The topology's
+            node count must equal the cluster's.
     """
 
     bandwidth: float = 1.25e9  # 10 Gbps
@@ -48,6 +56,7 @@ class NetworkConfig:
     failure_detection_delay: float = 0.1
     num_directory_shards: int = 4
     flow_scheduling: bool = True
+    topology: Optional["Topology"] = None
 
     def __post_init__(self) -> None:
         if self.bandwidth <= 0:
@@ -60,6 +69,12 @@ class NetworkConfig:
             raise ValueError("latencies must be non-negative")
         if self.num_directory_shards <= 0:
             raise ValueError("num_directory_shards must be positive")
+        if self.small_object_threshold < 0:
+            raise ValueError("small_object_threshold must be non-negative")
+        if self.reduce_block_compute_bandwidth <= 0:
+            raise ValueError("reduce_block_compute_bandwidth must be positive")
+        if self.failure_detection_delay < 0:
+            raise ValueError("failure_detection_delay must be non-negative")
 
     def transmission_time(self, nbytes: float) -> float:
         """Serialization time of ``nbytes`` at the NIC rate."""

@@ -71,20 +71,43 @@ class Flow:
 DEFAULT_FLOW = Flow("untagged", FlowClass.BULK)
 
 
+def path_transmission_time(config: NetworkConfig, src: "Node", dst: "Node", nbytes: float) -> float:
+    """Serialization time of one block at the ``src -> dst`` bottleneck rate.
+
+    Delegates to the cluster's fabric when one exists; on the flat fabric
+    (and for nodes built without a cluster) this is exactly
+    ``config.transmission_time``.
+    """
+    fabric = src.cluster.fabric if src.cluster is not None else None
+    if fabric is None:
+        return config.transmission_time(nbytes)
+    return fabric.transmission_time(src.node_id, dst.node_id, nbytes)
+
+
+def path_latency(config: NetworkConfig, src: "Node", dst: "Node") -> float:
+    """One-way propagation latency, including any per-tier extras."""
+    fabric = src.cluster.fabric if src.cluster is not None else None
+    if fabric is None:
+        return config.latency
+    return fabric.latency(src.node_id, dst.node_id)
+
+
 class LinkScheduler:
-    """Admission and accounting for one NIC direction of one node.
+    """Admission and accounting for one link direction.
 
     The scheduler wraps the direction's capacity
     :class:`~repro.sim.Resource`; reservations enqueue on it (ordered by
     :class:`FlowClass`, FIFO within a class) and the work-conserving grant
-    scan admits the first reservation whose partner link is also free.
+    scan admits the first reservation whose partner links are also free.
+    One scheduler exists per NIC direction of every node and — on
+    hierarchical fabrics — per shared tier link direction
+    (:class:`~repro.net.topology.FabricLink`).
     """
 
-    def __init__(self, node: "Node", link: Resource, direction: str):
-        self.node = node
+    def __init__(self, sim: Simulator, link: Resource, direction: str):
+        self.sim = sim
         self.link = link
         self.direction = direction
-        self.sim: Simulator = node.sim
         #: cumulative bytes granted per flow id.
         self.bytes_by_flow: dict[str, int] = {}
         #: cumulative bytes granted per priority class.
@@ -121,12 +144,18 @@ class LinkScheduler:
 
 
 class Reservation:
-    """A cancellable claim on a (source uplink, destination downlink) pair.
+    """A cancellable claim on every link a ``src -> dst`` block crosses.
 
-    The claim is granted atomically when both slots are free; until then it
-    holds nothing.  ``release`` frees a granted claim (crediting both link
-    schedulers' accounting) or withdraws a pending one; both are idempotent,
-    so the transfer generators can release unconditionally in a ``finally``.
+    On the flat fabric that is the (source uplink, destination downlink)
+    pair; on a hierarchical fabric the claim additionally covers one slot on
+    **every shared tier link on the path** (source rack uplink, zone
+    aggregation links, destination rack downlink), so admission is a
+    matching on the fabric graph rather than the bipartite NIC graph.  The
+    whole set is granted atomically when every slot is simultaneously free;
+    until then the reservation holds nothing.  ``release`` frees a granted
+    claim (crediting every link scheduler's accounting) or withdraws a
+    pending one; both are idempotent, so the transfer generators can release
+    unconditionally in a ``finally``.
     """
 
     def __init__(self, src: "Node", dst: "Node", nbytes: int, flow: Flow):
@@ -135,9 +164,16 @@ class Reservation:
         self.nbytes = int(nbytes)
         self.flow = flow
         self.sim: Simulator = src.sim
+        fabric = src.cluster.fabric if src.cluster is not None else None
+        #: shared tier links on the path (empty for flat/intra-rack traffic).
+        self.path = (
+            fabric.path_links(src.node_id, dst.node_id) if fabric is not None else ()
+        )
+        claims = [(src.uplink, 1), (dst.downlink, 1)]
+        claims.extend((link.resource, 1) for link in self.path)
         self.request = MultiRequest(
             self.sim,
-            [(src.uplink, 1), (dst.downlink, 1)],
+            claims,
             priority=int(flow.flow_class),
         )
         self._closed = False
@@ -160,6 +196,8 @@ class Reservation:
             hold = self.sim.now - self.request.granted_at
             self.src.uplink_sched.account(self.flow, self.nbytes, hold)
             self.dst.downlink_sched.account(self.flow, self.nbytes, hold)
+            for link in self.path:
+                link.sched.account(self.flow, self.nbytes, hold)
         self.request.release()
 
     def cancel(self) -> None:
@@ -227,11 +265,11 @@ class FlowTransport:
                         node=dead,
                     )
             _check_alive(src, dst)
-            yield sim.timeout(self.config.transmission_time(nbytes))
+            yield sim.timeout(path_transmission_time(self.config, src, dst, nbytes))
             _check_alive(src, dst)
         finally:
             reservation.release()
-        yield sim.timeout(self.config.latency)
+        yield sim.timeout(path_latency(self.config, src, dst))
         _check_alive(dst)
         return sim.now
 

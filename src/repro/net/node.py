@@ -34,8 +34,8 @@ class Node:
         self.cluster = cluster
         self.uplink = Resource(sim, capacity=1)
         self.downlink = Resource(sim, capacity=1)
-        self.uplink_sched = LinkScheduler(self, self.uplink, "up")
-        self.downlink_sched = LinkScheduler(self, self.downlink, "down")
+        self.uplink_sched = LinkScheduler(sim, self.uplink, "up")
+        self.downlink_sched = LinkScheduler(sim, self.downlink, "down")
         self.memcpy_channel = Resource(sim, capacity=1)
         self.alive = True
         #: Incremented every time the node recovers from a failure.  Stale

@@ -50,7 +50,7 @@ from __future__ import annotations
 from typing import Generator, Optional
 
 from repro.net.config import NetworkConfig
-from repro.net.flowsched import Flow, FlowTransport
+from repro.net.flowsched import Flow, FlowTransport, path_latency, path_transmission_time
 from repro.net.node import Node
 
 
@@ -101,10 +101,16 @@ def _transfer_block_sequential(
 
     Kept as the ablation behind ``NetworkConfig.flow_scheduling = False``:
     this is the path that parks a sender's uplink idle-but-held behind a
-    busy receiver (head-of-line blocking).
+    busy receiver (head-of-line blocking).  On a hierarchical fabric the
+    shared tier links on the path are acquired the same sequential way
+    (after the NIC slots, in path order), so the ablation extends the
+    hold-and-wait discipline to the fabric graph; the acquisition order is
+    identical for every transfer, which keeps it deadlock-free.
     """
     sim = src.sim
     _check_alive(src, dst)
+    fabric = src.cluster.fabric if src.cluster is not None else None
+    path = fabric.path_links(src.node_id, dst.node_id) if fabric is not None else ()
     up_req = src.uplink.request()
     try:
         yield up_req
@@ -113,13 +119,23 @@ def _transfer_block_sequential(
         try:
             yield down_req
             _check_alive(src, dst)
-            yield sim.timeout(config.transmission_time(nbytes))
-            _check_alive(src, dst)
+            tier_reqs = []
+            try:
+                for link in path:
+                    req = link.resource.request()
+                    tier_reqs.append((link, req))
+                    yield req
+                    _check_alive(src, dst)
+                yield sim.timeout(path_transmission_time(config, src, dst, nbytes))
+                _check_alive(src, dst)
+            finally:
+                for link, req in tier_reqs:
+                    link.resource.release(req)
         finally:
             dst.downlink.release(down_req)
     finally:
         src.uplink.release(up_req)
-    yield sim.timeout(config.latency)
+    yield sim.timeout(path_latency(config, src, dst))
     _check_alive(dst)
     return sim.now
 

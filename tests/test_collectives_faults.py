@@ -100,8 +100,11 @@ def _retrying(cluster, node_id, attempt, on_done):
     on_done(result)
 
 
-def _build(system, seed, failure_class="peer"):
-    cluster = Cluster(num_nodes=NUM_NODES, network=NetworkConfig(**TEST_NETWORK))
+def _build(system, seed, failure_class="peer", topology=None):
+    cluster = Cluster(
+        num_nodes=NUM_NODES,
+        network=NetworkConfig(**TEST_NETWORK, topology=topology),
+    )
     plane = _make_plane(system, cluster)
     schedule(cluster, _failure_schedule(seed, failure_class))
     return cluster, plane
@@ -495,5 +498,29 @@ def test_collective_completes_and_is_correct_under_poisson_failures(
     cluster, plane = _build(system, seed, failure_class)
     if failure_class == "root":
         _run_orchestrated(cluster, plane, primitive, f"fm-{system}-{primitive}-s{seed}")
+    else:
+        _DRIVERS[primitive](cluster, plane)
+
+
+@pytest.mark.parametrize("failure_class", FAILURE_CLASSES)
+@pytest.mark.parametrize("primitive", PRIMITIVES)
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_collective_fault_matrix_on_two_rack_topology(system, primitive, failure_class):
+    """The full 2-plane x 6-collective x {peer, root} matrix on a 2-rack fabric.
+
+    One seed, an oversubscribed two-rack topology: the topology-aware paths
+    (locality-preferring directory with same-rack parking, hierarchical
+    reduce, tier-link reservations) must survive the exact failure classes
+    the flat matrix covers — cancellation of cross-rack reservations on peer
+    death, rack-tree repair, and orchestrated root re-execution.
+    """
+    from repro.net.topology import Topology
+
+    topology = Topology.racks(2, NUM_NODES // 2, oversubscription=2.0)
+    cluster, plane = _build(system, SEEDS[0], failure_class, topology=topology)
+    if failure_class == "root":
+        _run_orchestrated(
+            cluster, plane, primitive, f"fm2r-{system}-{primitive}-s{SEEDS[0]}"
+        )
     else:
         _DRIVERS[primitive](cluster, plane)

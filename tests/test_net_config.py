@@ -32,6 +32,22 @@ def test_validation_errors():
         ClusterSpec(num_nodes=2, workers_per_node=0)
 
 
+def test_validation_rejects_negative_timing_parameters():
+    """Negative thresholds/rates/delays silently corrupt timing math."""
+    with pytest.raises(ValueError):
+        NetworkConfig(small_object_threshold=-1)
+    with pytest.raises(ValueError):
+        NetworkConfig(reduce_block_compute_bandwidth=0)
+    with pytest.raises(ValueError):
+        NetworkConfig(reduce_block_compute_bandwidth=-1e9)
+    with pytest.raises(ValueError):
+        NetworkConfig(failure_detection_delay=-0.1)
+    # The boundary values stay legal: a zero threshold disables the
+    # small-object fast path, a zero detection delay is an oracle detector.
+    assert NetworkConfig(small_object_threshold=0).small_object_threshold == 0
+    assert NetworkConfig(failure_detection_delay=0.0).failure_detection_delay == 0.0
+
+
 def test_transmission_and_memcpy_times():
     config = NetworkConfig(bandwidth=1e9, memcpy_bandwidth=4e9)
     assert config.transmission_time(1e9) == pytest.approx(1.0)
