@@ -4,10 +4,16 @@ Paper: Hoplite and OpenMPI lead broadcast and reduce; gather is similar
 across systems (receiver-bound); Gloo's ring-chunked allreduce is the best
 allreduce for large objects; Ray and Dask trail everything by a wide margin
 because they have no collective support.
+
+Scale-out rows: the full grid adds a 64-node row at the bandwidth-bound
+sizes, and a 256-node smoke pins the pipeline bounds at fleet scale — both
+affordable because the coalesced-transfer fast path simulates uncontended
+block chains in O(1) events per hop (quick mode keeps CI to one size).
 """
 
 from repro.bench.experiments import GB, MB, fig7_collectives
 from repro.bench.reporting import format_table
+from repro.bench.scenarios import measure_broadcast, measure_reduce
 
 COLUMNS = [
     "primitive",
@@ -27,8 +33,18 @@ COLUMNS = [
 ]
 
 
-def test_fig7_collectives(run_once):
-    rows = run_once(fig7_collectives, sizes=(MB, 32 * MB, GB), node_counts=(4, 8, 16))
+def _grid_with_scaleout():
+    """The paper's 4/8/16-node grid plus the 64-node bandwidth-bound row."""
+    rows = fig7_collectives(sizes=(MB, 32 * MB, GB), node_counts=(4, 8, 16))
+    rows += fig7_collectives(sizes=(32 * MB, GB), node_counts=(64,))
+    return rows
+
+
+def test_fig7_collectives(run_once, quick):
+    if quick:
+        rows = run_once(fig7_collectives, sizes=(32 * MB,), node_counts=(8, 64))
+    else:
+        rows = run_once(_grid_with_scaleout)
     print()
     print(format_table("Figure 7: collective latency (seconds)", rows, COLUMNS))
 
@@ -66,3 +82,37 @@ def test_fig7_collectives(run_once):
         if row["size"] == "1GB":
             assert row["gloo_ring_chunked"] <= row["hoplite"] * 1.5
             assert row["hoplite"] <= row["gloo_ring_chunked"] * 2.5
+
+
+def test_fig7_fleet_smoke_256_nodes(run_once):
+    """256-node pipeline smoke: chain-shaped collectives track the chain bound.
+
+    At fleet scale the receiver-driven broadcast and the degree-1 reduce run
+    as depth-255 block-pipelined chains, so the analytical completion time is
+    ``S/B + (n-1) * (block/B + L)`` — the serialization time plus one block
+    of pipeline lag per hop (reduce adds its per-hop combine time).  Both
+    must stay within 15% of that bound.  Affordable at this scale only
+    because the coalesced fast path collapses each hop to O(1) events.
+    """
+    from repro.net.config import NetworkConfig
+
+    def _run():
+        return {
+            "broadcast": measure_broadcast("hoplite", 256, 256 * MB),
+            "reduce": measure_reduce("hoplite", 256, 256 * MB),
+        }
+
+    results = run_once(_run)
+    config = NetworkConfig()
+    nbytes, hops = 256 * MB, 255
+    block_lag = config.block_size / config.bandwidth + config.latency
+    chain_bound = {
+        "broadcast": nbytes / config.bandwidth + hops * block_lag,
+        "reduce": nbytes / config.bandwidth
+        + hops * (block_lag + config.block_size / config.reduce_block_compute_bandwidth),
+    }
+    print()
+    for primitive, latency in results.items():
+        bound = chain_bound[primitive]
+        print(f"  256-node {primitive}: {latency:.4f}s ({latency / bound:.3f}x chain bound)")
+        assert latency <= 1.15 * bound, (primitive, latency, bound)

@@ -1,0 +1,127 @@
+"""Simulator throughput: events/sec + wall-clock on the fixed scenario basket.
+
+This is the *performance-of-the-simulator* benchmark (simulated results are
+pinned by the golden digests and the bound assertions elsewhere).  The
+basket and its groups are defined in :mod:`repro.bench.perf`; the committed
+``BENCH_perf.json`` carries the trajectory — current numbers plus the
+pre-fast-path baseline measured on the same host.
+
+CI runs ``--quick`` and fails when a quick scenario's events/sec drops more
+than 30% below the committed value, or when a golden digest changes.
+
+Regenerate the committed file after an intentional perf change::
+
+    PYTHONPATH=src python benchmarks/bench_perf.py --write
+"""
+
+import json
+import pathlib
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_FILE = REPO_ROOT / "BENCH_perf.json"
+
+#: CI fails when a quick scenario's events/sec falls below this fraction of
+#: the committed number.  Coarse on purpose: CI machines differ from the
+#: recording host, and the fast path's margins are far larger than 30%.
+REGRESSION_FLOOR = 0.7
+
+
+def _committed() -> dict:
+    return json.loads(BENCH_FILE.read_text())
+
+
+def test_perf_basket_throughput(run_once, quick):
+    from repro.bench.perf import group_walls, run_basket
+
+    # best-of-2 even in quick mode: single-shot wall clocks on shared CI
+    # runners are noisy enough to trip the 30% floor spuriously.
+    rows = run_once(run_basket, quick=quick, repeats=2)
+    committed = {row["scenario"]: row for row in _committed()["scenarios"]}
+
+    print()
+    print(f"{'scenario':46s} {'wall_s':>8s} {'events':>9s} {'ev/s':>10s} {'committed':>10s}")
+    for row in rows:
+        recorded = committed.get(row["scenario"], {})
+        print(
+            f"{row['scenario']:46s} {row['wall_s']:8.3f} {row['events']:9d} "
+            f"{row['events_per_s']:10,d} {recorded.get('events_per_s', 0):10,d}"
+        )
+    for group, wall in sorted(group_walls(rows).items()):
+        print(f"  group {group:20s} wall {wall:8.3f}s")
+
+    for row in rows:
+        recorded = committed.get(row["scenario"])
+        assert recorded is not None, f"{row['scenario']} missing from BENCH_perf.json"
+        # The simulated result is part of the contract: a perf benchmark
+        # that changed the simulation is measuring something else.
+        assert row["sim_s"] == recorded["sim_s"], (
+            row["scenario"],
+            row["sim_s"],
+            recorded["sim_s"],
+        )
+        floor = recorded["events_per_s"] * REGRESSION_FLOOR
+        assert row["events_per_s"] >= floor, (
+            f"{row['scenario']}: events/sec regressed >30% "
+            f"({row['events_per_s']:,} < {floor:,.0f}; committed "
+            f"{recorded['events_per_s']:,})"
+        )
+
+
+def test_golden_digests_still_match(run_once):
+    """The throughput numbers are only comparable at fixed simulated results."""
+    from repro.bench.digest import (
+        RECORDED_DIGESTS as RECORDED,
+        golden_fault_matrix_cell,
+        golden_fig7_cell,
+    )
+
+    def _both():
+        return golden_fig7_cell(), golden_fault_matrix_cell()
+
+    fig7, fault = run_once(_both)
+    assert fig7 == RECORDED["fig7_flat"]
+    assert fault == RECORDED["fault_matrix_2rack"]
+
+
+def _write() -> None:
+    from repro.bench.perf import run_basket
+
+    current = _committed()
+    baselines = {
+        row["scenario"]: row.get("baseline_pre_pr_wall_s")
+        for row in current.get("scenarios", [])
+    }
+    rows = run_basket()
+    groups: dict = {}
+    for row in rows:
+        base = baselines.get(row["scenario"])
+        row["baseline_pre_pr_wall_s"] = base
+        row["speedup_vs_pre_pr"] = (
+            round(base / row["wall_s"], 2) if base and row["wall_s"] else None
+        )
+        group = groups.setdefault(
+            row["group"], {"wall_s": 0.0, "baseline_pre_pr_wall_s": 0.0}
+        )
+        group["wall_s"] = round(group["wall_s"] + row["wall_s"], 4)
+        if base:
+            group["baseline_pre_pr_wall_s"] = round(
+                group["baseline_pre_pr_wall_s"] + base, 4
+            )
+    for group in groups.values():
+        if group["baseline_pre_pr_wall_s"] and group["wall_s"]:
+            group["speedup_vs_pre_pr"] = round(
+                group["baseline_pre_pr_wall_s"] / group["wall_s"], 2
+            )
+    current["groups"] = groups
+    current["scenarios"] = rows
+    BENCH_FILE.write_text(json.dumps(current, indent=1) + "\n")
+    print(f"wrote {BENCH_FILE}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--write" in sys.argv:
+        _write()
+    else:
+        print(__doc__)

@@ -147,3 +147,62 @@ def test_topology_oversubscription_sweep(run_once, quick):
             assert row["bcast_aware"] < row["bcast_obliv"], row
             assert row["allred_aware"] < row["allred_obliv"], row
             assert row["allgat_aware"] < row["allgat_obliv"], row
+
+
+def test_topology_scaleout_64_nodes(run_once, quick):
+    """64-node fabric row (8 racks x 8 nodes at 4:1): awareness still wins."""
+    nbytes = 8 * MB if quick else 32 * MB
+    rows = run_once(
+        topology_rows, ratios=(4.0,), num_racks=8, nodes_per_rack=8, nbytes=nbytes
+    )
+    print()
+    print(format_table("Topology scale-out: 8x8 racks at 4:1 (seconds)", rows, COLUMNS))
+    row = rows[0]
+    assert row["rack_frac"] > 0.0, row
+    assert row["bcast_aware"] < row["bcast_obliv"], row
+    assert row["allred_aware"] < row["allred_obliv"], row
+    assert row["allgat_aware"] < row["allgat_obliv"], row
+
+
+def test_topology_fleet_smoke_256_nodes(run_once, quick):
+    """256-node broadcast smoke (16 racks x 16 nodes at 4:1, full mode only).
+
+    The rack-aware tree pays ~one cross-rack transfer per rack, so it beats
+    the oblivious ablation well past the sweep scale.  Skipped in quick mode:
+    the oblivious ablation is coalescing-resistant (every spine slot is
+    contended) and the aware run's parked-requester rescans are genuine
+    directory work, so the cell costs several wall seconds.
+    """
+    if quick:
+        import pytest
+
+        pytest.skip("256-node smoke runs in the full benchmark mode only")
+    from repro.core.options import HopliteOptions
+
+    network = NetworkConfig(topology=Topology.racks(16, 16, oversubscription=4.0))
+    delays = rack_interleaved_delays(16, 16)
+
+    def _run():
+        aware = measure_broadcast(
+            "hoplite",
+            256,
+            32 * MB,
+            arrival_delays=delays[1:],
+            network=network,
+            options=HopliteOptions(topology_aware=True),
+        )
+        oblivious = measure_broadcast(
+            "hoplite",
+            256,
+            32 * MB,
+            arrival_delays=delays[1:],
+            network=network,
+            options=HopliteOptions(topology_aware=False),
+        )
+        return aware, oblivious
+
+    aware, oblivious = run_once(_run)
+    print()
+    print(f"  256-node broadcast: aware {aware:.4f}s vs oblivious {oblivious:.4f}s")
+    assert aware < oblivious, (aware, oblivious)
+    assert oblivious / aware >= 1.5, (aware, oblivious)

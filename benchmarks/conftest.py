@@ -7,8 +7,6 @@ Python interpreter.  The helper below standardizes that convention.
 
 from __future__ import annotations
 
-import itertools
-
 import pytest
 
 
@@ -23,9 +21,9 @@ def _pinned_object_ids():
     same pytest process.  Pinning the counter makes every benchmark
     reproduce its standalone run exactly, in any batch order.
     """
-    from repro.store import objects as objects_module
+    from repro.store.objects import reset_id_counter
 
-    objects_module._id_counter = itertools.count()
+    reset_id_counter()
 
 
 def pytest_addoption(parser):

@@ -271,6 +271,7 @@ def run_moe_routing(
         metrics={
             "shard_bytes": shard_bytes,
             "gate_bytes": gate_bytes,
+            "events_processed": sim.events_processed,
             "retries": total_retries["count"],
             "expert_skew": expert_skew,
             "capacity_factor": capacity_factor,

@@ -164,6 +164,7 @@ def collect_flow_usage(cluster: Cluster) -> dict:
 
     return {
         "elapsed": elapsed,
+        "events_processed": cluster.sim.events_processed,
         "links": links,
         "bytes_by_class": bytes_by_class,
         "mean_uplink_utilization": (

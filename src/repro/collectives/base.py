@@ -170,14 +170,21 @@ class StaticOperation:
         ``ready_blocks`` is an optional callable ``block_index -> Event`` used
         to pipeline through intermediate ranks.
         """
+        from repro.net.coalesce import nic_path_links, register_stream, unregister_stream
+
         src = self.group.node_of_rank(src_rank)
         dst = self.group.node_of_rank(dst_rank)
         flow = self.flow(src_rank, dst_rank)
         total = self.config.num_blocks(self.nbytes)
-        for index in range(total):
-            if ready_blocks is not None:
-                yield ready_blocks(index)
-            yield from transfer_block(
-                self.config, src, dst, self.config.block_bytes(self.nbytes, index), flow
-            )
+        links = nic_path_links(src, dst)
+        register_stream(links)
+        try:
+            for index in range(total):
+                if ready_blocks is not None:
+                    yield ready_blocks(index)
+                yield from transfer_block(
+                    self.config, src, dst, self.config.block_bytes(self.nbytes, index), flow
+                )
+        finally:
+            unregister_stream(links)
         return self.sim.now

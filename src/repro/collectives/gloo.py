@@ -79,14 +79,20 @@ class RingAllreduce(StaticOperation):
         self.mark_data_ready(rank)
 
     def _send_chunk_segmented(self, src: Node, dst: Node, chunk: int, flow) -> Generator:
+        from repro.net.coalesce import nic_path_links, register_stream, unregister_stream
         from repro.net.transport import transfer_block
 
         remaining = chunk
         block = min(self.config.block_size, chunk)
-        while remaining > 0:
-            nbytes = min(block, remaining)
-            yield from transfer_block(self.config, src, dst, nbytes, flow)
-            remaining -= nbytes
+        links = nic_path_links(src, dst)
+        register_stream(links)
+        try:
+            while remaining > 0:
+                nbytes = min(block, remaining)
+                yield from transfer_block(self.config, src, dst, nbytes, flow)
+                remaining -= nbytes
+        finally:
+            unregister_stream(links)
 
 
 class FlatBroadcast(StaticOperation):

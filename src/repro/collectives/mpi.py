@@ -30,6 +30,7 @@ from repro.collectives.base import (
 )
 from repro.net.flowsched import Flow, FlowClass
 from repro.net.node import Node
+from repro.net.coalesce import nic_path_links, register_stream, unregister_stream
 from repro.net.transport import transfer_block, transfer_bytes
 from repro.sim import Event
 
@@ -86,17 +87,22 @@ class BinomialBroadcast(StaticOperation):
         parent_rank = self._rank_of_vrank(binomial_parent(vrank))
         parent_node = self.group.node_of_rank(parent_rank)
         flow = self.flow(parent_rank, rank)
-        for index in range(total_blocks):
-            yield self._block_ready[parent_rank][index]
-            yield from transfer_block(
-                self.config,
-                parent_node,
-                node,
-                self.config.block_bytes(self.nbytes, index),
-                flow,
-            )
-            if not self._block_ready[rank][index].triggered:
-                self._block_ready[rank][index].succeed(self.sim.now)
+        links = nic_path_links(parent_node, node)
+        register_stream(links)
+        try:
+            for index in range(total_blocks):
+                yield self._block_ready[parent_rank][index]
+                yield from transfer_block(
+                    self.config,
+                    parent_node,
+                    node,
+                    self.config.block_bytes(self.nbytes, index),
+                    flow,
+                )
+                if not self._block_ready[rank][index].triggered:
+                    self._block_ready[rank][index].succeed(self.sim.now)
+        finally:
+            unregister_stream(links)
         self.mark_data_ready(rank)
 
 
@@ -137,17 +143,22 @@ class PipelineChainBroadcast(StaticOperation):
         predecessor_rank = self._rank_of_vrank(vrank - 1)
         predecessor_node = self.group.node_of_rank(predecessor_rank)
         flow = self.flow(predecessor_rank, rank)
-        for index in range(total_blocks):
-            yield self._block_ready[predecessor_rank][index]
-            yield from transfer_block(
-                self.config,
-                predecessor_node,
-                node,
-                self.config.block_bytes(self.nbytes, index),
-                flow,
-            )
-            if not self._block_ready[rank][index].triggered:
-                self._block_ready[rank][index].succeed(self.sim.now)
+        links = nic_path_links(predecessor_node, node)
+        register_stream(links)
+        try:
+            for index in range(total_blocks):
+                yield self._block_ready[predecessor_rank][index]
+                yield from transfer_block(
+                    self.config,
+                    predecessor_node,
+                    node,
+                    self.config.block_bytes(self.nbytes, index),
+                    flow,
+                )
+                if not self._block_ready[rank][index].triggered:
+                    self._block_ready[rank][index].succeed(self.sim.now)
+        finally:
+            unregister_stream(links)
         self.mark_data_ready(rank)
 
 
@@ -190,17 +201,22 @@ class BinaryTreeReduce(StaticOperation):
         flow = Flow(
             f"{type(self).__name__}:{child_rank}->{rank}", FlowClass.REDUCE_PARTIAL
         )
-        for index in range(total_blocks):
-            yield self._partial_ready[child_rank][index]
-            yield from transfer_block(
-                self.config,
-                child_node,
-                node,
-                self.config.block_bytes(self.nbytes, index),
-                flow,
-            )
-            if not arrived[index].triggered:
-                arrived[index].succeed(self.sim.now)
+        links = nic_path_links(child_node, node)
+        register_stream(links)
+        try:
+            for index in range(total_blocks):
+                yield self._partial_ready[child_rank][index]
+                yield from transfer_block(
+                    self.config,
+                    child_node,
+                    node,
+                    self.config.block_bytes(self.nbytes, index),
+                    flow,
+                )
+                if not arrived[index].triggered:
+                    arrived[index].succeed(self.sim.now)
+        finally:
+            unregister_stream(links)
 
     def _participate(self, rank: int, node: Node) -> Generator:
         vrank = self._vrank(rank)

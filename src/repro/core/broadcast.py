@@ -17,6 +17,14 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Generator, Optional
 
+from repro.net.coalesce import (
+    build_pull_run,
+    coalesce_eligible,
+    input_coverage,
+    nic_path_links,
+    register_stream,
+    unregister_stream,
+)
 from repro.net.flowsched import Flow, FlowClass
 from repro.net.node import Node
 from repro.net.transport import TransferError, transfer_block, transfer_bytes
@@ -185,6 +193,9 @@ def _pull_blocks(
     # Reference the serving copy: a capacity-limited source store must not
     # evict it mid-stream (the receiver would silently lose the payload).
     source_entry.ref_count += 1
+    dest_store = runtime.store(dest_node)
+    links = nic_path_links(source_node, dest_node)
+    register_stream(links)
     try:
         if not runtime.options.enable_pipelining:
             yield _race_failure(runtime, source_entry.wait_sealed(), source_node)
@@ -192,6 +203,42 @@ def _pull_blocks(
 
         while entry.blocks_ready < entry.num_blocks:
             block_index = entry.blocks_ready
+            # Coalesced fast path: every block the source already holds, in
+            # one timeline event — exact per-block semantics guaranteed by
+            # the run's virtual holds and re-splitting (see net/coalesce).
+            if config.flow_scheduling:
+                # Horizon: blocks the source holds now, plus — the relay
+                # cascade — blocks its own coalesced run will deliver at
+                # known instants.
+                horizon = input_coverage(source_entry, entry.num_blocks)
+                if horizon - block_index >= 2 and not entry._no_coalesce:
+                    if coalesce_eligible(links, source_node, dest_node):
+                        run = build_pull_run(
+                            config,
+                            source_node,
+                            dest_node,
+                            flow,
+                            links,
+                            source_entry,
+                            entry,
+                            block_index,
+                            horizon,
+                            account_out=lambda nb: source_store.account_flow_out(flow, nb),
+                            account_in=lambda nb: dest_store.account_flow_in(flow, nb),
+                        )
+                        yield from run.run()
+                        continue
+            if (
+                source_entry._inflight is not None
+                and source_entry.blocks_ready <= block_index
+            ):
+                # This pull is about to park on the source's arithmetic
+                # schedule outside a coalesced run of its own (contended
+                # links, or a schedule tail too short to coalesce).  Its
+                # resume order against competing flows matters — and links
+                # can become contended while parked — so the source's marks
+                # must be delivered per-block from here on.
+                source_entry.decoalesce()
             yield _race_failure(
                 runtime, source_entry.wait_for_blocks(block_index + 1), source_node
             )
@@ -199,9 +246,10 @@ def _pull_blocks(
             nbytes = config.block_bytes(entry.size, block_index)
             yield from transfer_block(config, source_node, dest_node, nbytes, flow)
             source_store.account_flow_out(flow, nbytes)
-            runtime.store(dest_node).account_flow_in(flow, nbytes)
+            dest_store.account_flow_in(flow, nbytes)
             entry.mark_block_ready(block_index)
     finally:
+        unregister_stream(links)
         source_entry.ref_count -= 1
     # Touch the sim clock so zero-block objects still take a well-defined path.
     if entry.num_blocks == 0:  # pragma: no cover - num_blocks is always >= 1

@@ -27,6 +27,16 @@ import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Generator, Optional, Sequence
 
+from repro.net.coalesce import (
+    ComputeRun,
+    build_pull_run,
+    coalesce_eligible,
+    input_coverage,
+    nic_path_links,
+    ready_time_of,
+    register_stream,
+    unregister_stream,
+)
 from repro.net.flowsched import Flow, FlowClass
 from repro.net.node import Node
 from repro.net.transport import TransferError, local_copy_block, transfer_block
@@ -647,19 +657,65 @@ class ReduceExecution:
             for entry in guarded:
                 entry.ref_count += 1
             try:
-                for block_index in range(output.num_blocks):
+                weight = max(1, len(inputs) - 1)
+                block_index = 0
+                while block_index < output.num_blocks:
+                    # Coalesced fast path: every block whose inputs are
+                    # present or arriving on a known schedule combines by
+                    # arithmetic (see ComputeRun in net/coalesce); the
+                    # output's own schedule lets the parent stream cascade.
+                    if not output._no_coalesce:
+                        horizon = output.num_blocks
+                        for entry in inputs:
+                            horizon = input_coverage(entry, horizon)
+                        if horizon - block_index >= 2:
+                            compute_times = []
+                            ready_times = []
+                            for k in range(block_index, horizon):
+                                nbytes = config.block_bytes(output.size, k)
+                                compute_times.append(
+                                    config.reduce_compute_time(nbytes) * weight
+                                )
+                                ready = 0.0
+                                for entry in inputs:
+                                    when = ready_time_of(entry, k)
+                                    if when > ready:
+                                        ready = when
+                                ready_times.append(ready)
+                            run = ComputeRun(
+                                self.sim,
+                                node,
+                                output,
+                                block_index,
+                                compute_times,
+                                ready_times,
+                                [
+                                    entry._inflight
+                                    for entry in inputs
+                                    if entry._inflight is not None
+                                ],
+                            )
+                            block_index += yield from run.run()
+                            if run.failure_stop:
+                                return
+                            continue
                     for entry in inputs:
                         if entry.blocks_ready <= block_index:
+                            if entry._inflight is not None:
+                                # Parking outside a ComputeRun: per-block
+                                # mark ordering required (see _pull_blocks).
+                                entry.decoalesce()
                             yield self._race_own_failure(
                                 entry.wait_for_blocks(block_index + 1), node
                             )
                             if not node.alive:
                                 return
                     nbytes = config.block_bytes(output.size, block_index)
-                    compute_time = config.reduce_compute_time(nbytes) * max(1, len(inputs) - 1)
+                    compute_time = config.reduce_compute_time(nbytes) * weight
                     if compute_time > 0:
                         yield self.sim.timeout(compute_time)
                     output.mark_block_ready(block_index)
+                    block_index += 1
 
                 payloads = [own_entry.payload]
                 for child, staging in zip(child_states, stagings):
@@ -715,9 +771,54 @@ class ReduceExecution:
             # Reference the child's output while streaming from it so a
             # capacity-limited child store cannot evict it mid-stream.
             child_entry.ref_count += 1
+            # Announce the stream so a coalesced run sharing one of these
+            # links re-splits before the per-block interleaving starts.
+            if same_node:
+                links = [(parent_node.memcpy_channel, None)]
+            else:
+                links = nic_path_links(child_node, parent_node)
+            register_stream(links)
+            config_ = self.runtime.config
             try:
                 while staging.blocks_ready < staging.num_blocks:
                     block_index = staging.blocks_ready
+                    # Coalesced fast path (see _pull_blocks): stream every
+                    # block the child holds — or will produce on a known
+                    # schedule (cascade) — as one timeline event.
+                    if config_.flow_scheduling or same_node:
+                        horizon = input_coverage(child_entry, staging.num_blocks)
+                        if horizon - block_index >= 2 and not staging._no_coalesce:
+                            run_src = parent_node if same_node else child_node
+                            if coalesce_eligible(links, run_src, parent_node):
+                                if same_node:
+                                    account_out = account_in = None
+                                else:
+                                    parent_store = runtime.store(parent_node)
+                                    account_out = lambda nb: child_store.account_flow_out(flow, nb)  # noqa: B023
+                                    account_in = lambda nb: parent_store.account_flow_in(flow, nb)  # noqa: B023
+                                run = build_pull_run(
+                                    config_,
+                                    run_src,
+                                    parent_node,
+                                    flow,
+                                    links,
+                                    child_entry,
+                                    staging,
+                                    block_index,
+                                    horizon,
+                                    local_copy=same_node,
+                                    account_out=account_out,
+                                    account_in=account_in,
+                                )
+                                yield from run.run()
+                                continue
+                    if (
+                        child_entry._inflight is not None
+                        and child_entry.blocks_ready <= block_index
+                    ):
+                        # About to park outside a coalesced run: per-block
+                        # mark ordering required (see _pull_blocks).
+                        child_entry.decoalesce()
                     yield self._race_peer_failure(
                         child_entry.wait_for_blocks(block_index + 1), child_node, parent_node
                     )
@@ -737,6 +838,7 @@ class ReduceExecution:
                 if child_entry.sealed:
                     staging.seal(child_entry.payload)
             finally:
+                unregister_stream(links)
                 child_entry.ref_count -= 1
         except Interrupt:
             return

@@ -77,6 +77,10 @@ class ObjectDirectory:
         self.records: dict[ObjectID, DirectoryRecord] = {}
         self.lookup_count = 0
         self.publish_count = 0
+        #: memoized source-selection tie-break hashes ((object key, node) ->
+        #: int): the blake2b is a pure function of the key, and at fleet
+        #: scale the per-candidate hashing dominated eligibility scans.
+        self._tie_cache: dict[tuple[str, int], int] = {}
         for node in cluster.nodes:
             node.on_failure(self._on_node_failure)
 
@@ -239,18 +243,28 @@ class ObjectDirectory:
         return record
 
     # -- broadcast coordination ---------------------------------------------------
-    def _dependency_chain(self, record: DirectoryRecord, node_id: int) -> set[int]:
-        """Follow the ``upstream`` pointers from ``node_id``.
+    def _location_view(self, record: DirectoryRecord) -> dict[int, LocationInfo]:
+        """Locations plus checked-out sources, for dependency-chain walks.
 
         Checked-out sources are removed from ``locations`` while they serve a
         receiver, but their upstream pointers must stay visible here: a chain
         that silently ends at a checked-out node would let two receivers pick
         each other's partials as sources and deadlock with neither able to
         make progress (each waiting for blocks only the other could produce).
+        Built once per eligibility scan — rebuilding it per candidate made
+        source selection quadratic at fleet scale.
         """
         view = dict(record.locations)
         for info in record.checked_out.values():
             view.setdefault(info.node_id, info)
+        return view
+
+    def _dependency_chain(
+        self, record: DirectoryRecord, node_id: int, view: Optional[dict] = None
+    ) -> set[int]:
+        """Follow the ``upstream`` pointers from ``node_id``."""
+        if view is None:
+            view = self._location_view(record)
         chain: set[int] = set()
         current: Optional[int] = node_id
         while current is not None and current not in chain:
@@ -280,6 +294,7 @@ class ObjectDirectory:
         self, record: DirectoryRecord, requester_id: int, exclude
     ) -> list[LocationInfo]:
         sources = []
+        view: Optional[dict] = None
         for info in record.locations.values():
             if info.node_id == requester_id or self._is_excluded(info.node_id, exclude):
                 continue
@@ -288,7 +303,9 @@ class ObjectDirectory:
                 continue
             # Cycle avoidance: never pick a source whose own fetch depends,
             # transitively, on the requester (Section 3.5.1).
-            if requester_id in self._dependency_chain(record, info.node_id):
+            if view is None:
+                view = self._location_view(record)
+            if requester_id in self._dependency_chain(record, info.node_id, view):
                 continue
             sources.append(info)
         # Prefer complete copies over partial ones, then — on a hierarchical
@@ -318,10 +335,17 @@ class ObjectDirectory:
         # rather than crc32: crc is linear, so same-length object ids would
         # shift every candidate's hash by the same XOR constant and the
         # per-object variation would collapse to one global order.
+        tie_cache = self._tie_cache
+
         def _tie_break(info: LocationInfo) -> int:
-            token = f"{self.selection_seed}:{record.object_id.key}:{info.node_id}"
-            digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8).digest()
-            return int.from_bytes(digest, "big")
+            cache_key = (record.object_id.key, info.node_id)
+            cached = tie_cache.get(cache_key)
+            if cached is None:
+                token = f"{self.selection_seed}:{record.object_id.key}:{info.node_id}"
+                digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8).digest()
+                cached = int.from_bytes(digest, "big")
+                tie_cache[cache_key] = cached
+            return cached
 
         sources.sort(
             key=lambda info: (
@@ -353,9 +377,7 @@ class ObjectDirectory:
         frozen partials as "pending".
         """
         topology = self.cluster.topology
-        view = dict(record.locations)
-        for info in record.checked_out.values():
-            view.setdefault(info.node_id, info)
+        view = self._location_view(record)
         for info in view.values():
             if info.node_id == requester_id:
                 continue
@@ -365,7 +387,7 @@ class ObjectDirectory:
                 continue
             if not self.cluster.nodes[info.node_id].alive:
                 continue
-            if requester_id in self._dependency_chain(record, info.node_id):
+            if requester_id in self._dependency_chain(record, info.node_id, view):
                 continue
             return True
         return False

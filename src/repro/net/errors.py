@@ -1,0 +1,33 @@
+"""Transfer failure types and liveness checks.
+
+These live in their own leaf module so both :mod:`repro.net.transport` and
+:mod:`repro.net.flowsched` can import them at module scope (the two import
+each other lazily, and the former per-block function-body imports showed up
+in kernel profiles).  ``repro.net.transport`` re-exports them, so existing
+``from repro.net.transport import TransferError`` call sites are unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.node import Node
+
+
+class TransferError(Exception):
+    """A data transfer failed (usually because a peer node died)."""
+
+    def __init__(self, message: str, node: Optional["Node"] = None):
+        super().__init__(message)
+        self.node = node
+
+
+class NodeFailedError(TransferError):
+    """An operation was attempted on or against a failed node."""
+
+
+def _check_alive(*nodes: "Node") -> None:
+    for node in nodes:
+        if not node.alive:
+            raise NodeFailedError(f"node {node.node_id} is down", node=node)

@@ -45,6 +45,7 @@ from enum import IntEnum
 from typing import TYPE_CHECKING, Generator, Optional
 
 from repro.net.config import NetworkConfig
+from repro.net.errors import TransferError, _check_alive
 from repro.sim import Event, MultiRequest, Resource, Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -232,8 +233,6 @@ class FlowTransport:
         Returns (via StopIteration) the simulated time at which the block is
         fully available at the destination.
         """
-        from repro.net.transport import TransferError, _check_alive
-
         sim = src.sim
         _check_alive(src, dst)
         reservation = self.reserve(src, dst, nbytes, flow)

@@ -245,6 +245,13 @@ class Fabric:
     def __init__(self, sim: Simulator, topology: Topology, config) -> None:
         self.topology = topology
         self.config = config
+        #: (src, dst) memos — the fabric is immutable once built, every
+        #: block of every flow between a pair crosses the same links at the
+        #: same bottleneck rate, and the per-block recomputation (rack/zone
+        #: lookups, min over the path) was measurable in kernel profiles.
+        self._path_cache: dict[tuple[int, int], tuple["FabricLink", ...]] = {}
+        self._rate_cache: dict[tuple[int, int], float] = {}
+        self._latency_cache: dict[tuple[int, int], float] = {}
         base = config.bandwidth
         self.rack_up: list[Optional[FabricLink]] = []
         self.rack_down: list[Optional[FabricLink]] = []
@@ -289,19 +296,27 @@ class Fabric:
         the source rack's uplink and the destination rack's downlink; cross-
         zone traffic additionally claims both zones' aggregation links.
         """
+        cached = self._path_cache.get((src_id, dst_id))
+        if cached is not None:
+            return cached
         topology = self.topology
         if not self.rack_up:
-            return ()
-        src_rack, dst_rack = topology.rack_of(src_id), topology.rack_of(dst_id)
-        if src_rack == dst_rack:
-            return ()
-        links = [self.rack_up[src_rack]]
-        src_zone, dst_zone = topology.rack_zones[src_rack], topology.rack_zones[dst_rack]
-        if src_zone != dst_zone:
-            links.append(self.zone_up[src_zone])
-            links.append(self.zone_down[dst_zone])
-        links.append(self.rack_down[dst_rack])
-        return tuple(links)
+            path: tuple[FabricLink, ...] = ()
+        else:
+            src_rack, dst_rack = topology.rack_of(src_id), topology.rack_of(dst_id)
+            if src_rack == dst_rack:
+                path = ()
+            else:
+                links = [self.rack_up[src_rack]]
+                src_zone = topology.rack_zones[src_rack]
+                dst_zone = topology.rack_zones[dst_rack]
+                if src_zone != dst_zone:
+                    links.append(self.zone_up[src_zone])
+                    links.append(self.zone_down[dst_zone])
+                links.append(self.rack_down[dst_rack])
+                path = tuple(links)
+        self._path_cache[(src_id, dst_id)] = path
+        return path
 
     # -- timing --------------------------------------------------------------
     def transmission_time(self, src_id: int, dst_id: int, nbytes: float) -> float:
@@ -313,25 +328,34 @@ class Fabric:
         topology = self.topology
         if topology.is_flat:
             return self.config.transmission_time(nbytes)
-        base = self.config.bandwidth
-        rate = min(
-            topology.nic_bandwidth(src_id, base),
-            topology.nic_bandwidth(dst_id, base),
-        )
-        for link in self.path_links(src_id, dst_id):
-            rate = min(rate, link.slot_bandwidth)
+        rate = self._rate_cache.get((src_id, dst_id))
+        if rate is None:
+            base = self.config.bandwidth
+            rate = min(
+                topology.nic_bandwidth(src_id, base),
+                topology.nic_bandwidth(dst_id, base),
+            )
+            for link in self.path_links(src_id, dst_id):
+                rate = min(rate, link.slot_bandwidth)
+            self._rate_cache[(src_id, dst_id)] = rate
         return nbytes / rate
 
     def latency(self, src_id: int, dst_id: int) -> float:
         """One-way propagation: the base latency plus per-tier extras."""
+        cached = self._latency_cache.get((src_id, dst_id))
+        if cached is not None:
+            return cached
         topology = self.topology
         base = self.config.latency
         if topology.is_flat or topology.same_rack(src_id, dst_id):
-            return base
-        extra = topology.rack_latency
-        if not topology.same_zone(src_id, dst_id):
-            extra += topology.zone_latency
-        return base + extra
+            result = base
+        else:
+            extra = topology.rack_latency
+            if not topology.same_zone(src_id, dst_id):
+                extra += topology.zone_latency
+            result = base + extra
+        self._latency_cache[(src_id, dst_id)] = result
+        return result
 
     # -- introspection -------------------------------------------------------
     def iter_links(self):

@@ -47,29 +47,42 @@ source — exactly like a broken TCP connection being noticed by its peer.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Generator, Optional
 
+from repro.net.coalesce import (
+    CoalescedRun,
+    coalesce_eligible,
+    nic_path_links,
+    register_stream,
+    unregister_stream,
+)
 from repro.net.config import NetworkConfig
-from repro.net.flowsched import Flow, FlowTransport, path_latency, path_transmission_time
+from repro.net.errors import NodeFailedError, TransferError, _check_alive
+from repro.net.flowsched import (
+    DEFAULT_FLOW,
+    Flow,
+    FlowTransport,
+    path_latency,
+    path_transmission_time,
+)
 from repro.net.node import Node
 
-
-class TransferError(Exception):
-    """A data transfer failed (usually because a peer node died)."""
-
-    def __init__(self, message: str, node: Optional[Node] = None):
-        super().__init__(message)
-        self.node = node
-
-
-class NodeFailedError(TransferError):
-    """An operation was attempted on or against a failed node."""
+__all__ = [
+    "TransferError",
+    "NodeFailedError",
+    "transfer_block",
+    "transfer_bytes",
+    "local_copy",
+    "local_copy_block",
+    "control_rpc",
+]
 
 
-def _check_alive(*nodes: Node) -> None:
-    for node in nodes:
-        if not node.alive:
-            raise NodeFailedError(f"node {node.node_id} is down", node=node)
+@lru_cache(maxsize=64)
+def _flow_transport(config: NetworkConfig) -> FlowTransport:
+    """One stateless FlowTransport per config (it was allocated per block)."""
+    return FlowTransport(config)
 
 
 def transfer_block(
@@ -85,7 +98,7 @@ def transfer_block(
     fully available at the destination.
     """
     if config.flow_scheduling:
-        result = yield from FlowTransport(config).transfer_block(src, dst, nbytes, flow)
+        result = yield from _flow_transport(config).transfer_block(src, dst, nbytes, flow)
         return result
     result = yield from _transfer_block_sequential(config, src, dst, nbytes)
     return result
@@ -159,10 +172,38 @@ def transfer_bytes(
         _check_alive(src, dst)
         return sim.now
     total_blocks = config.num_blocks(nbytes)
-    for index in range(total_blocks):
-        yield from transfer_block(
-            config, src, dst, config.block_bytes(nbytes, index), flow
-        )
+    links = nic_path_links(src, dst)
+    register_stream(links)
+    try:
+        index = 0
+        while index < total_blocks:
+            # Coalesced fast path: the rest of the object in one timeline
+            # event when this stream has the whole path to itself (see
+            # net/coalesce for the exactness argument); any disturbance
+            # re-splits back to per-block.
+            if config.flow_scheduling and total_blocks - index >= 2:
+                if coalesce_eligible(links, src, dst):
+                    sizes = [
+                        config.block_bytes(nbytes, i) for i in range(index, total_blocks)
+                    ]
+                    run = CoalescedRun(
+                        sim,
+                        src,
+                        dst,
+                        flow or DEFAULT_FLOW,
+                        sizes,
+                        [path_transmission_time(config, src, dst, nb) for nb in sizes],
+                        path_latency(config, src, dst),
+                        links,
+                    )
+                    index += yield from run.run()
+                    continue
+            yield from transfer_block(
+                config, src, dst, config.block_bytes(nbytes, index), flow
+            )
+            index += 1
+    finally:
+        unregister_stream(links)
     return sim.now
 
 
@@ -192,8 +233,31 @@ def local_copy(config: NetworkConfig, node: Node, nbytes: int) -> Generator:
         _check_alive(node)
         return sim.now
     total_blocks = config.num_blocks(nbytes)
-    for index in range(total_blocks):
-        yield from local_copy_block(config, node, config.block_bytes(nbytes, index))
+    links = [(node.memcpy_channel, None)]
+    register_stream(links)
+    try:
+        index = 0
+        while index < total_blocks:
+            if total_blocks - index >= 2 and coalesce_eligible(links, node, node):
+                sizes = [
+                    config.block_bytes(nbytes, i) for i in range(index, total_blocks)
+                ]
+                run = CoalescedRun(
+                    sim,
+                    node,
+                    node,
+                    None,
+                    sizes,
+                    [config.memcpy_time(nb) for nb in sizes],
+                    0.0,
+                    links,
+                )
+                index += yield from run.run()
+                continue
+            yield from local_copy_block(config, node, config.block_bytes(nbytes, index))
+            index += 1
+    finally:
+        unregister_stream(links)
     return sim.now
 
 

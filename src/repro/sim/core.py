@@ -14,6 +14,23 @@ The design follows the classic discrete-event pattern:
 
 The module is intentionally small and has no external dependencies so that
 unit tests of the higher layers never depend on wall-clock time.
+
+Performance notes (the kernel is the hot loop of every benchmark):
+
+* every class here carries ``__slots__`` — a simulation allocates millions
+  of events and the per-instance ``__dict__`` was a third of the kernel's
+  footprint and a measurable share of its time;
+* an event's callback list is allocated lazily on the first
+  :meth:`Event.add_callback`; most events (timeouts with a single waiting
+  process, fire-and-forget grants) carry zero or one callback, so the
+  eager empty list was pure churn.  ``callbacks`` keeps its public
+  contract: falsy while empty, a list while waiters exist, and the
+  ``_PROCESSED`` sentinel (an empty tuple — also falsy) once the event has
+  left the queue;
+* :meth:`Simulator.schedule_at` places an event at an *absolute* timestamp,
+  which the coalesced-transfer fast path uses to land wake-ups on exactly
+  the accumulated float boundary a per-block chain of timeouts would have
+  produced (``now + (t - now)`` does not round-trip in floating point).
 """
 
 from __future__ import annotations
@@ -48,6 +65,11 @@ class ProcessFailure(Exception):
 URGENT = 0
 NORMAL = 1
 
+#: Sentinel marking an event whose callbacks have already run.  An empty
+#: tuple: falsy (so ``bool(event.callbacks)`` still means "has waiters"),
+#: immutable, and identity-comparable.
+_PROCESSED: tuple = ()
+
 
 class Event:
     """A one-shot occurrence in simulated time.
@@ -57,9 +79,13 @@ class Event:
     time.  Once triggered its value is immutable.
     """
 
+    __slots__ = ("sim", "callbacks", "_value", "_exception", "_ok", "defused")
+
     def __init__(self, sim: "Simulator"):
         self.sim = sim
-        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        #: ``None`` until the first callback registers; a list while waiters
+        #: exist; the ``_PROCESSED`` sentinel once callbacks have run.
+        self.callbacks: Any = None
         self._value: Any = None
         self._exception: Optional[BaseException] = None
         self._ok: Optional[bool] = None
@@ -77,7 +103,7 @@ class Event:
     @property
     def processed(self) -> bool:
         """True once callbacks have run (the event left the queue)."""
-        return self.callbacks is None
+        return self.callbacks is _PROCESSED
 
     @property
     def ok(self) -> bool:
@@ -86,7 +112,7 @@ class Event:
 
     @property
     def value(self) -> Any:
-        if not self.triggered:
+        if self._ok is None:
             raise SimulationError("event value read before it was triggered")
         if self._exception is not None:
             return self._exception
@@ -95,22 +121,22 @@ class Event:
     # -- triggering -------------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._ok is not None:
             raise SimulationError("event has already been triggered")
         self._ok = True
         self._value = value
-        self.sim._schedule(self, priority=URGENT)
+        self.sim._schedule(self, URGENT)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event with an exception."""
-        if self.triggered:
+        if self._ok is not None:
             raise SimulationError("event has already been triggered")
         if not isinstance(exception, BaseException):
             raise SimulationError("fail() requires an exception instance")
         self._ok = False
         self._exception = exception
-        self.sim._schedule(self, priority=URGENT)
+        self.sim._schedule(self, URGENT)
         return self
 
     def trigger(self, other: "Event") -> None:
@@ -122,11 +148,14 @@ class Event:
 
     # -- composition ------------------------------------------------------
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
-        if self.callbacks is None:
+        callbacks = self.callbacks
+        if callbacks is _PROCESSED:
             # Already processed: run immediately at the current time.
             callback(self)
+        elif callbacks is None:
+            self.callbacks = [callback]
         else:
-            self.callbacks.append(callback)
+            callbacks.append(callback)
 
     def __and__(self, other: "Event") -> "AllOf":
         return AllOf(self.sim, [self, other])
@@ -144,14 +173,16 @@ class Event:
 class Timeout(Event):
     """An event that fires after a fixed simulated delay."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay!r}")
-        super().__init__(sim)
+        Event.__init__(self, sim)
         self.delay = delay
         self._ok = True
         self._value = value
-        sim._schedule(self, priority=NORMAL, delay=delay)
+        sim._schedule(self, NORMAL, delay)
 
     def succeed(self, value: Any = None) -> "Event":  # pragma: no cover
         raise SimulationError("a Timeout is triggered automatically")
@@ -163,8 +194,10 @@ class Timeout(Event):
 class _Condition(Event):
     """Base class for AllOf / AnyOf composition events."""
 
+    __slots__ = ("events", "_matched")
+
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
-        super().__init__(sim)
+        Event.__init__(self, sim)
         self.events = list(events)
         self._matched: list[Event] = []
         if not self.events:
@@ -195,12 +228,16 @@ class _Condition(Event):
 class AllOf(_Condition):
     """Fires when every component event has succeeded."""
 
+    __slots__ = ()
+
     def _satisfied(self) -> bool:
         return len(self._matched) == len(self.events)
 
 
 class AnyOf(_Condition):
     """Fires when the first component event succeeds."""
+
+    __slots__ = ()
 
     def _satisfied(self) -> bool:
         return len(self._matched) >= 1
@@ -215,8 +252,10 @@ class Process(Event):
     is an event that succeeds with the generator's return value.
     """
 
+    __slots__ = ("generator", "name", "_target", "_resume_bound")
+
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
-        super().__init__(sim)
+        Event.__init__(self, sim)
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise SimulationError(
                 f"Process requires a generator, got {type(generator).__name__}"
@@ -224,10 +263,13 @@ class Process(Event):
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Optional[Event] = None
+        # One bound method reused for every resumption: creating a fresh
+        # bound method per yield was measurable at millions of yields.
+        self._resume_bound = self._resume
         # Kick-start the process at the current simulation time.
         bootstrap = Event(sim)
         bootstrap.succeed()
-        bootstrap.add_callback(self._resume)
+        bootstrap.callbacks = [self._resume_bound]
 
     @property
     def is_alive(self) -> bool:
@@ -242,20 +284,20 @@ class Process(Event):
         """
         if self.triggered:
             return
-        if self._target is not None and self._target.callbacks is not None:
+        if self._target is not None and type(self._target.callbacks) is list:
             try:
-                self._target.callbacks.remove(self._resume)
+                self._target.callbacks.remove(self._resume_bound)
             except ValueError:
                 pass
         interrupt_event = Event(self.sim)
         interrupt_event._ok = False
         interrupt_event._exception = Interrupt(cause)
         interrupt_event.defused = True
-        self.sim._schedule(interrupt_event, priority=URGENT)
-        interrupt_event.add_callback(self._resume)
+        self.sim._schedule(interrupt_event, URGENT)
+        interrupt_event.add_callback(self._resume_bound)
 
     def _resume(self, event: Event) -> None:
-        if self.triggered:
+        if self._ok is not None:
             return
         self._target = None
         try:
@@ -282,7 +324,7 @@ class Process(Event):
                 self.fail(exc)
             return
         self._target = next_event
-        next_event.add_callback(self._resume)
+        next_event.add_callback(self._resume_bound)
 
 
 class Simulator:
@@ -301,10 +343,15 @@ class Simulator:
         assert proc.value == "done"
     """
 
+    __slots__ = ("_now", "_queue", "_sequence", "events_processed", "unhandled_failures")
+
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._sequence = 0
+        #: Events processed by :meth:`step` so far (the denominator of the
+        #: events/sec throughput metric in ``benchmarks/bench_perf.py``).
+        self.events_processed = 0
         #: Failed events whose exception was never consumed by a waiter.
         self.unhandled_failures: list[Event] = []
 
@@ -332,10 +379,36 @@ class Simulator:
 
     # -- scheduling ---------------------------------------------------------
     def _schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, self._sequence, event)
-        )
-        self._sequence += 1
+        seq = self._sequence
+        self._sequence = seq + 1
+        heapq.heappush(self._queue, (self._now + delay, priority, seq, event))
+
+    def schedule_at(self, event: Event, at: float, priority: int = NORMAL) -> None:
+        """Place ``event`` in the queue at the *absolute* time ``at``.
+
+        Used by fast paths that must land a wake-up on exactly the float
+        timestamp an equivalent chain of relative timeouts would have
+        reached (relative scheduling would re-round through ``now + delay``).
+        ``at`` must not lie in the past.
+        """
+        if at < self._now:
+            raise SimulationError(f"schedule_at({at}) is in the past (now={self._now})")
+        seq = self._sequence
+        self._sequence = seq + 1
+        heapq.heappush(self._queue, (at, priority, seq, event))
+
+    def wake_at(self, at: float, value: Any = None) -> Event:
+        """An already-succeeded event that pops at the absolute time ``at``.
+
+        Behaves like a :class:`Timeout` aimed at an exact timestamp: yield
+        it from a process to sleep until then, or attach callbacks to run
+        work at that instant.
+        """
+        event = Event(self)
+        event._ok = True
+        event._value = value
+        self.schedule_at(event, at)
+        return event
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if the queue is empty."""
@@ -349,9 +422,12 @@ class Simulator:
             raise SimulationError("step() called on an empty event queue")
         when, _priority, _seq, event = heapq.heappop(self._queue)
         self._now = when
-        callbacks, event.callbacks = event.callbacks, None
-        for callback in callbacks or ():
-            callback(event)
+        self.events_processed += 1
+        callbacks = event.callbacks
+        event.callbacks = _PROCESSED
+        if callbacks is not None:
+            for callback in callbacks:
+                callback(event)
         if not event._ok and not event.defused:
             self.unhandled_failures.append(event)
 
@@ -373,13 +449,15 @@ class Simulator:
                     f"run(until={stop_time}) is in the past (now={self._now})"
                 )
 
-        while self._queue:
-            if stop_event is not None and stop_event.processed:
+        queue = self._queue
+        step = self.step
+        while queue:
+            if stop_event is not None and stop_event.callbacks is _PROCESSED:
                 break
-            if self.peek() > stop_time:
+            if queue[0][0] > stop_time:
                 self._now = stop_time
                 break
-            self.step()
+            step()
 
         if stop_event is not None:
             if not stop_event.triggered:

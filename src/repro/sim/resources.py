@@ -16,24 +16,58 @@ Four primitives cover everything the higher layers need:
   with blocking ``get``/``put``.
 * :class:`Store` — a FIFO queue of Python objects with blocking ``get`` and
   optional filtering, used for message channels between processes.
+
+Admission is *incremental*: a release wakes only the queue of the released
+resource (never a global rescan), the priority queue is maintained by
+``bisect.insort`` on a ``(priority, sequence)`` key instead of a linear
+scan, and the grant scan stops as soon as the resource is saturated — with
+capacity-1 NIC slots that turns the former O(waiters) rescan per release
+into O(grants).  :class:`Store` settles only newly eligible getter×item
+pairs: a new item is offered to the waiting getters once, a new getter scans
+the present items once, and the stable remainder is never rescanned.
+
+Resources also support *virtual holds* (:meth:`Resource.add_virtual_hold`):
+an occupancy schedule evaluated arithmetically instead of via scheduled
+events.  The coalesced-transfer fast path uses them to keep a link's
+``in_use`` exactly what an equivalent per-block chain of grants and releases
+would show at any instant, without paying one event pair per block.  The
+moment anyone *enqueues* on the resource, every virtual hold is told to
+materialize (``on_contest``) before the new request is queued, so admission
+decisions only ever see real holds.
 """
 
 from __future__ import annotations
 
+import itertools
+from bisect import insort
 from collections import deque
 from typing import Any, Callable, Optional, Sequence
 
 from repro.sim.core import Event, SimulationError, Simulator
 
+#: process-global arrival stamper for queue ordering.  Only *differences*
+#: matter (FIFO within a priority class), so sharing it across simulators
+#: cannot leak state between runs.
+_arrival_stamp = itertools.count()
+
+
+def _queue_key(request: "Event") -> tuple[int, int]:
+    return request.sort_key
+
 
 class _Request(Event):
     """A pending claim on a resource; usable as a context manager."""
 
+    __slots__ = ("resource", "amount", "priority", "sort_key")
+
+    is_multi = False
+
     def __init__(self, resource: "Resource", amount: int = 1, priority: int = 0):
-        super().__init__(resource.sim)
+        Event.__init__(self, resource.sim)
         self.resource = resource
         self.amount = amount
         self.priority = priority
+        self.sort_key = (priority, next(_arrival_stamp))
 
     def __enter__(self) -> "_Request":
         return self
@@ -60,13 +94,26 @@ class MultiRequest(Event):
     granted claim or withdraws a pending one.
     """
 
+    __slots__ = (
+        "claims",
+        "priority",
+        "sort_key",
+        "granted_at",
+        "_released",
+        "_blocked_on",
+        "_blocked_amount",
+        "_silent",
+    )
+
+    is_multi = True
+
     def __init__(
         self,
         sim: Simulator,
         claims: Sequence[tuple["Resource", int]],
         priority: int = 0,
     ):
-        super().__init__(sim)
+        Event.__init__(self, sim)
         if not claims:
             raise SimulationError("a multi-request needs at least one claim")
         seen: set[int] = set()
@@ -80,12 +127,32 @@ class MultiRequest(Event):
             seen.add(id(resource))
         self.claims = list(claims)
         self.priority = priority
+        self.sort_key = (priority, next(_arrival_stamp))
         #: simulated time of the grant (``None`` while pending).
         self.granted_at: Optional[float] = None
         self._released = False
+        #: the first resource whose capacity check failed on the last grant
+        #: attempt, plus the units claimed on it.  While that resource still
+        #: cannot fit the claim, re-checking the other claims is pointless —
+        #: the whole set cannot be granted — so grant scans skip this
+        #: request with one comparison instead of an O(claims) rescan: the
+        #: incremental matching that replaces the O(waiters) rescan per
+        #: release.
+        self._blocked_on: Optional["Resource"] = None
+        self._blocked_amount = 0
+        #: granted at construction with no possible waiter: the trigger is
+        #: recorded but not queued (the queue pop would be dead weight); the
+        #: first add_callback schedules it (see below).
+        self._silent = False
         for resource, _amount in self.claims:
             resource._enqueue(self)
-        self._try_grant()
+        self._try_grant(initial=True)
+
+    def add_callback(self, callback) -> None:
+        if self._silent:
+            self._silent = False
+            self.sim._schedule(self, 0)  # URGENT, as succeed() would have
+        Event.add_callback(self, callback)
 
     @property
     def granted(self) -> bool:
@@ -97,19 +164,31 @@ class MultiRequest(Event):
     def __exit__(self, exc_type, exc_val, exc_tb) -> None:
         self.release()
 
-    def _try_grant(self) -> bool:
+    def _try_grant(self, initial: bool = False) -> bool:
         """Grant the whole claim set if every resource has capacity now."""
-        if self.triggered or self._released:
+        if self._ok is not None or self._released:
             return False
         for resource, amount in self.claims:
-            if resource.in_use + amount > resource.capacity:
+            # Claimed resources can hold no virtual occupancy here: this
+            # request's _enqueue materialized them, so _in_use is exact.
+            if resource._in_use + amount > resource.capacity:
+                self._blocked_on = resource
+                self._blocked_amount = amount
                 return False
+        self._blocked_on = None
         for resource, amount in self.claims:
-            resource.in_use += amount
+            resource._in_use += amount
             resource._granted.add(id(self))
             resource._cancel(self)
         self.granted_at = self.sim.now
-        self.succeed(self)
+        if initial:
+            # Nobody can hold a reference yet, so no callback can exist:
+            # trigger without queueing (add_callback schedules on demand).
+            self._ok = True
+            self._value = self
+            self._silent = True
+        else:
+            self.succeed(self)
         return True
 
     def release(self) -> None:
@@ -120,7 +199,7 @@ class MultiRequest(Event):
         if self.granted:
             for resource, amount in self.claims:
                 resource._granted.discard(id(self))
-                resource.in_use -= amount
+                resource._in_use -= amount
             for resource, _amount in self.claims:
                 resource._grant()
         else:
@@ -142,14 +221,32 @@ class Resource:
     resource busy (work conservation).
     """
 
+    __slots__ = ("sim", "capacity", "_in_use", "_waiting", "_granted", "_virtual", "_streams")
+
     def __init__(self, sim: Simulator, capacity: int = 1):
         if capacity <= 0:
             raise SimulationError("resource capacity must be positive")
         self.sim = sim
         self.capacity = capacity
-        self.in_use = 0
+        self._in_use = 0
         self._waiting: list[Event] = []
         self._granted: set[int] = set()
+        #: active virtual holds (coalesced transfers); ``None`` when unused.
+        self._virtual: Optional[list] = None
+        #: multi-block transfer streams currently using this resource.  A
+        #: coalesced run requires exclusive streams (== 1, itself): two
+        #: per-block streams sharing a link interleave in an order set by
+        #: event-queue history, which arithmetic cannot reproduce.
+        self._streams = 0
+
+    @property
+    def in_use(self) -> int:
+        """Units held right now — real grants plus virtual-hold occupancy."""
+        virtual = self._virtual
+        if not virtual:
+            return self._in_use
+        now = self.sim._now
+        return self._in_use + sum(hold.occupied(now) for hold in virtual)
 
     @property
     def available(self) -> int:
@@ -159,14 +256,43 @@ class Resource:
     def queue_length(self) -> int:
         return len(self._waiting)
 
+    # -- virtual holds ------------------------------------------------------
+    def add_virtual_hold(self, hold: Any) -> None:
+        """Attach an arithmetic occupancy schedule (see module docstring).
+
+        ``hold`` must expose ``occupied(at) -> int`` and ``on_contest()``;
+        the latter is invoked *synchronously, before queue insertion*, the
+        first time any request enqueues here, and must convert the schedule
+        into real holds (or drop it) and detach itself.
+        """
+        if self._virtual is None:
+            self._virtual = [hold]
+        else:
+            self._virtual.append(hold)
+
+    def remove_virtual_hold(self, hold: Any) -> None:
+        virtual = self._virtual
+        if virtual is not None:
+            try:
+                virtual.remove(hold)
+            except ValueError:
+                pass
+
+    def _materialize_virtual(self) -> None:
+        while self._virtual:
+            hold = self._virtual[0]
+            hold.on_contest()
+            # on_contest must detach the hold; guard against a no-op
+            # implementation wedging the loop.
+            if self._virtual and self._virtual[0] is hold:  # pragma: no cover
+                self._virtual.pop(0)
+
+    # -- queueing -----------------------------------------------------------
     def _enqueue(self, request: Event) -> None:
         """Insert by priority (low first), FIFO within equal priorities."""
-        priority = request.priority
-        for index, waiting in enumerate(self._waiting):
-            if priority < waiting.priority:
-                self._waiting.insert(index, request)
-                return
-        self._waiting.append(request)
+        if self._virtual:
+            self._materialize_virtual()
+        insort(self._waiting, request, key=_queue_key)
 
     def request(self, amount: int = 1) -> _Request:
         if amount <= 0 or amount > self.capacity:
@@ -181,7 +307,7 @@ class Resource:
     def release(self, request: _Request) -> None:
         if id(request) in self._granted:
             self._granted.discard(id(request))
-            self.in_use -= request.amount
+            self._in_use -= request.amount
             self._grant()
         else:
             self._cancel(request)
@@ -193,33 +319,51 @@ class Resource:
             pass
 
     def _grant(self) -> None:
+        waiting = self._waiting
+        capacity = self.capacity
         index = 0
-        while index < len(self._waiting):
-            req = self._waiting[index]
-            if req.triggered:
-                del self._waiting[index]
+        while index < len(waiting):
+            if self._in_use >= capacity:
+                # Saturated: nothing below can be granted (a multi-request's
+                # _try_grant would fail on this resource too).  Triggered
+                # leftovers, if any, are purged by later scans.
+                break
+            req = waiting[index]
+            if req._ok is not None:
+                del waiting[index]
                 continue
-            if isinstance(req, MultiRequest):
+            if req.is_multi:
                 # A successful grant removes the request from this queue (do
                 # not advance); a failed match is skipped rather than blocking
-                # the queue — the matching-based admission discipline.
-                if not req._try_grant():
+                # the queue — the matching-based admission discipline.  A
+                # request whose recorded blocker still cannot fit its claim
+                # is skipped with one comparison (the blocker's state is the
+                # only thing that could have unblocked it).
+                blocked_on = req._blocked_on
+                if (
+                    blocked_on is not None
+                    and blocked_on._in_use + req._blocked_amount > blocked_on.capacity
+                ):
+                    index += 1
+                elif not req._try_grant():
                     index += 1
                 continue
-            if self.in_use + req.amount > self.capacity:
+            if self._in_use + req.amount > capacity:
                 # Strict FIFO for single requests: nothing behind a blocked
                 # single request is granted (MultiRequests included — they
                 # will be retried by their other resources' grant scans, and
                 # by this one once the blocked head is granted).
                 break
-            del self._waiting[index]
-            self.in_use += req.amount
+            del waiting[index]
+            self._in_use += req.amount
             self._granted.add(id(req))
             req.succeed(req)
 
 
 class PriorityResource(Resource):
     """A resource whose queue is ordered by a numeric priority (low first)."""
+
+    __slots__ = ()
 
     def request(self, amount: int = 1, priority: int = 0) -> _Request:
         if amount <= 0 or amount > self.capacity:
@@ -234,6 +378,8 @@ class PriorityResource(Resource):
 
 class Container:
     """A continuous quantity with blocking ``get``/``put``."""
+
+    __slots__ = ("sim", "capacity", "level", "_getters", "_putters")
 
     def __init__(self, sim: Simulator, capacity: float = float("inf"), init: float = 0.0):
         if init < 0 or init > capacity:
@@ -286,7 +432,15 @@ class Store:
     ``get`` optionally takes a filter predicate; the first matching item is
     returned.  This is the message-channel primitive used throughout the
     network and control-plane code.
+
+    Between calls the store is *stable*: no waiting getter matches any
+    present item.  Each mutation therefore only has to settle the pairs it
+    newly created — a fresh item against the waiting getters (FIFO), a fresh
+    getter against the present items (FIFO), and any putters admitted by
+    freed capacity — instead of rescanning every getter against every item.
     """
+
+    __slots__ = ("sim", "capacity", "items", "_getters", "_putters")
 
     def __init__(self, sim: Simulator, capacity: float = float("inf")):
         self.sim = sim
@@ -301,43 +455,41 @@ class Store:
     def put(self, item: Any) -> Event:
         event = Event(self.sim)
         self._putters.append((event, item))
-        self._settle()
+        self._drain_putters()
         return event
 
     def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> Event:
         event = Event(self.sim)
+        items = self.items
+        if predicate is None:
+            if items:
+                event.succeed(items.popleft())
+                self._drain_putters()
+            else:
+                self._getters.append((event, None))
+            return event
+        for index, item in enumerate(items):
+            if predicate(item):
+                del items[index]
+                event.succeed(item)
+                self._drain_putters()
+                return event
         self._getters.append((event, predicate))
-        self._settle()
         return event
 
-    def _settle(self) -> None:
-        # Admit queued puts while there is capacity.
+    def _drain_putters(self) -> None:
+        """Admit queued puts while capacity allows; offer each new item once."""
         while self._putters and len(self.items) < self.capacity:
             event, item = self._putters.popleft()
-            self.items.append(item)
             event.succeed()
-        # Satisfy getters, respecting their predicates, in FIFO order.
-        satisfied = True
-        while satisfied and self._getters and self.items:
-            satisfied = False
-            for g_index, (event, predicate) in enumerate(self._getters):
-                match_index = None
-                if predicate is None:
-                    match_index = 0
-                else:
-                    for i_index, item in enumerate(self.items):
-                        if predicate(item):
-                            match_index = i_index
-                            break
-                if match_index is not None:
-                    item = self.items[match_index]
-                    del self.items[match_index]
-                    del self._getters[g_index]
-                    event.succeed(item)
-                    satisfied = True
-                    break
-        # Freed capacity may admit more putters.
-        while self._putters and len(self.items) < self.capacity:
-            event, item = self._putters.popleft()
-            self.items.append(item)
-            event.succeed()
+            if not self._offer(item):
+                self.items.append(item)
+
+    def _offer(self, item: Any) -> bool:
+        """Hand a newly admitted item to the first waiting getter it matches."""
+        for index, (event, predicate) in enumerate(self._getters):
+            if predicate is None or predicate(item):
+                del self._getters[index]
+                event.succeed(item)
+                return True
+        return False

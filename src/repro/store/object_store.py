@@ -35,6 +35,25 @@ class ObjectAlreadyExistsError(ValueError):
 class StoredObject:
     """Bookkeeping for one object copy inside a local store."""
 
+    __slots__ = (
+        "sim",
+        "object_id",
+        "size",
+        "num_blocks",
+        "_blocks_ready",
+        "sealed",
+        "pinned",
+        "payload",
+        "metadata",
+        "created_at",
+        "last_access",
+        "ref_count",
+        "_progress_waiters",
+        "_sealed_event",
+        "_inflight",
+        "_no_coalesce",
+    )
+
     def __init__(
         self,
         sim: Simulator,
@@ -47,7 +66,7 @@ class StoredObject:
         self.object_id = object_id
         self.size = size
         self.num_blocks = max(1, num_blocks)
-        self.blocks_ready = 0
+        self._blocks_ready = 0
         self.sealed = False
         self.pinned = pinned
         self.payload: Payload = None
@@ -57,8 +76,27 @@ class StoredObject:
         self.ref_count = 0
         self._progress_waiters: list[tuple[int, Event]] = []
         self._sealed_event = Event(sim)
+        #: arithmetic arrival schedule while a coalesced transfer streams
+        #: into this copy (see :class:`repro.net.coalesce.InflightSchedule`).
+        self._inflight = None
+        #: set by :meth:`decoalesce`: a consumer on contended links needs
+        #: per-block mark ordering, so no coalesced run may write this copy.
+        self._no_coalesce = False
 
     # -- progress -----------------------------------------------------------
+    @property
+    def blocks_ready(self) -> int:
+        """Blocks present right now.
+
+        While a coalesced transfer is streaming into this copy the count is
+        computed from the transfer's arrival boundaries — the same value, at
+        the same instant, the per-block mark sequence would have stored.
+        """
+        inflight = self._inflight
+        if inflight is None:
+            return self._blocks_ready
+        return inflight.ready_now(self.sim._now)
+
     @property
     def complete(self) -> bool:
         return self.sealed
@@ -75,20 +113,41 @@ class StoredObject:
             raise IndexError(
                 f"block {block_index} out of range for {self.num_blocks}-block object"
             )
-        self.blocks_ready = max(self.blocks_ready, block_index + 1)
+        if block_index + 1 > self._blocks_ready:
+            self._blocks_ready = block_index + 1
         self._notify_progress()
 
     def reset_progress(self) -> None:
         """Discard partial contents (used when a reduce subtree must restart)."""
         if self.sealed:
             raise ValueError("cannot reset a sealed object")
-        self.blocks_ready = 0
+        self._cancel_inflight()
+        self._blocks_ready = 0
+
+    def _cancel_inflight(self) -> None:
+        """Stop a coalesced stream writing this copy and drop its future marks.
+
+        Used by :meth:`reset_progress`: the reset wipes even blocks already
+        present, so the (about-to-be-interrupted) producing run must deliver
+        nothing afterwards — its link/store accounting still happens at its
+        unwind, matching an interrupted per-block chain.
+        """
+        inflight = self._inflight
+        if inflight is None:
+            return
+        run = inflight.run
+        run._materialize()
+        run.entry = None
+        run.schedule = None
+        inflight.close()
 
     def seal(self, payload: Payload = None) -> None:
         """Mark the object complete (all blocks present)."""
         if self.sealed:
             return
-        self.blocks_ready = self.num_blocks
+        if self._inflight is not None:  # pragma: no cover - defensive
+            raise ValueError("cannot seal an object with a coalesced stream in flight")
+        self._blocks_ready = self.num_blocks
         self.sealed = True
         if payload is not None:
             self.payload = payload
@@ -96,11 +155,50 @@ class StoredObject:
         if not self._sealed_event.triggered:
             self._sealed_event.succeed(self)
 
+    def decoalesce(self) -> None:
+        """Consumer-side opt-out of arithmetic streaming into this copy.
+
+        A consumer whose own links are *contended* resumes in an order set
+        by the event queue, which only per-block marks reproduce — so it
+        re-splits any in-flight coalesced run and bars future ones.  (A
+        consumer on exclusive links keeps the arithmetic schedule: its
+        resume-order shift cannot change any admission outcome.)
+        """
+        self._no_coalesce = True
+        inflight = self._inflight
+        if inflight is not None:
+            inflight.run._materialize()
+
+    def _begin_inflight(self, schedule) -> None:
+        """Attach a coalesced-transfer arrival schedule to this copy.
+
+        Waiters whose thresholds fall inside the scheduled window move to
+        exact-time firings (the per-block marks they were waiting for will
+        not happen while the schedule is attached).
+        """
+        if self._inflight is not None:  # pragma: no cover - defensive
+            raise ValueError("a coalesced stream is already in flight")
+        self._inflight = schedule
+        if self._progress_waiters:
+            remaining = []
+            top = schedule.base + schedule.limit
+            for threshold, event in self._progress_waiters:
+                if event.triggered:
+                    continue
+                if threshold <= top:
+                    schedule.schedule_waiter(threshold, event)
+                else:
+                    remaining.append((threshold, event))
+            self._progress_waiters = remaining
+
     def _notify_progress(self) -> None:
+        if not self._progress_waiters:
+            return
         remaining = []
+        ready = self.blocks_ready
         for threshold, event in self._progress_waiters:
-            if self.blocks_ready >= threshold and not event.triggered:
-                event.succeed(self.blocks_ready)
+            if ready >= threshold and not event.triggered:
+                event.succeed(ready)
             elif not event.triggered:
                 remaining.append((threshold, event))
         self._progress_waiters = remaining
@@ -120,8 +218,15 @@ class StoredObject:
     def wait_for_blocks(self, count: int) -> Event:
         """An event that fires once at least ``count`` blocks are present."""
         event = Event(self.sim)
-        if self.blocks_ready >= count:
-            event.succeed(self.blocks_ready)
+        ready = self.blocks_ready
+        if ready >= count:
+            event.succeed(ready)
+            return event
+        inflight = self._inflight
+        if inflight is not None and count <= inflight.base + inflight.limit:
+            # The block is scheduled to arrive at a known instant: fire the
+            # waiter then, exactly when the per-block mark would have.
+            inflight.schedule_waiter(count, event)
         else:
             self._progress_waiters.append((count, event))
         return event

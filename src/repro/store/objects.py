@@ -20,6 +20,19 @@ import numpy as np
 
 _id_counter = itertools.count()
 
+
+def reset_id_counter() -> None:
+    """Rewind the process-global ``ObjectID.unique`` counter to zero.
+
+    Benchmarks, digests, and determinism tests pin the counter so every
+    scenario reproduces its standalone schedule exactly, in any batch
+    order.  This is the one sanctioned way to do it — resetting the module
+    global by hand from N call sites is how copies drift.
+    """
+    global _id_counter
+    _id_counter = itertools.count()
+
+
 Payload = Union[np.ndarray, bytes, None]
 
 

@@ -1,0 +1,38 @@
+"""Golden determinism: the fast-path kernel reproduces the slow kernel bit-for-bit.
+
+The digests below were recorded on the pre-fast-path simulator (before
+coalesced block transfers, incremental admission matching, and the memoized
+fabric paths landed).  Every optimization since must keep them byte-identical:
+a digest covers completion times at full float precision, per-link and
+per-tier byte counters, control-message counts, and the global ObjectID
+allocation state — see :mod:`repro.bench.digest` for exactly what is hashed.
+
+If one of these fails after an intentional *behaviour* change (a new
+scheduling policy, a model change), re-record the digest in the same commit
+and say so in the commit message; if it fails after a *performance* change,
+the performance change is wrong.
+"""
+
+import pytest
+
+from repro.bench.digest import (
+    RECORDED_DIGESTS as RECORDED,
+    golden_fault_matrix_cell,
+    golden_fig7_cell,
+)
+
+
+def test_golden_fig7_cell_matches_pre_fastpath_kernel():
+    assert golden_fig7_cell() == RECORDED["fig7_flat"]
+
+
+def test_golden_fault_matrix_cell_matches_pre_fastpath_kernel():
+    assert golden_fault_matrix_cell() == RECORDED["fault_matrix_2rack"]
+
+
+@pytest.mark.parametrize("cell", ["fig7_flat", "fault_matrix_2rack"])
+def test_golden_cells_are_run_to_run_stable(cell):
+    """Two runs in the same process agree (no hidden global state leaks)."""
+    from repro.bench.digest import GOLDEN_CELLS
+
+    assert GOLDEN_CELLS[cell]() == GOLDEN_CELLS[cell]()
