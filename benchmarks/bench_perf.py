@@ -31,7 +31,7 @@ def _committed() -> dict:
 
 
 def test_perf_basket_throughput(run_once, quick):
-    from repro.bench.perf import group_walls, run_basket
+    from repro.bench.perf import convoy_totals, group_walls, run_basket
 
     # best-of-2 even in quick mode: single-shot wall clocks on shared CI
     # runners are noisy enough to trip the 30% floor spuriously.
@@ -46,8 +46,20 @@ def test_perf_basket_throughput(run_once, quick):
             f"{row['scenario']:46s} {row['wall_s']:8.3f} {row['events']:9d} "
             f"{row['events_per_s']:10,d} {recorded.get('events_per_s', 0):10,d}"
         )
+        convoy = row.get("convoy", {})
+        if convoy.get("domains_formed"):
+            print(
+                f"{'':46s}   convoys: {convoy['domains_formed']} domains, "
+                f"{convoy['members_enrolled']} members, "
+                f"{convoy['blocks_planned']} blocks planned, "
+                f"{convoy['materializations']} materializations, "
+                f"{convoy['refusals']} refusals"
+            )
     for group, wall in sorted(group_walls(rows).items()):
         print(f"  group {group:20s} wall {wall:8.3f}s")
+    totals = convoy_totals(rows)
+    if totals:
+        print(f"  convoy totals: {totals}")
 
     for row in rows:
         recorded = committed.get(row["scenario"])

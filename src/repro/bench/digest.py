@@ -151,9 +151,54 @@ def golden_fault_matrix_cell(seed: int = 0) -> str:
     return _digest(parts)
 
 
+def golden_matching_cell(num_nodes: int) -> str:
+    """The contention-bound (matching-limited) collectives at one scale.
+
+    alltoall, allgather and the reduce+broadcast-overlapped allreduce, all on
+    the flat fabric with 32 MB objects: every link serves many concurrent
+    lockstep flows, so these cells pin exactly the admission behaviour the
+    convoy fast path must reproduce — per-block grant order under
+    saturation, relay cascades through partial sources, and the
+    REDUCE_PARTIAL/BULK priority interleaving of the overlapped allreduce.
+
+    Recorded at both 16 and 64 nodes: the 16-node cell keeps a quick signal
+    in fast dev loops, the 64-node cell is the exact population the
+    ``fig7_64_matching`` perf group draws from.
+    """
+    from repro.bench.scenarios import (
+        measure_allgather,
+        measure_allreduce,
+        measure_alltoall,
+    )
+
+    _reset_object_ids()
+    parts: list = []
+    for label, run in (
+        ("a2a-hoplite", lambda s: measure_alltoall("hoplite", num_nodes, 32 * MB, flow_stats=s)),
+        ("allgat-hoplite", lambda s: measure_allgather("hoplite", num_nodes, 32 * MB, flow_stats=s)),
+        ("allred-hoplite", lambda s: measure_allreduce("hoplite", num_nodes, 32 * MB, flow_stats=s)),
+    ):
+        stats: dict = {}
+        latency = run(stats)
+        parts.append((label, repr(latency)))
+        parts.extend(_flow_fingerprint(stats))
+    parts.append(_object_id_state())
+    return _digest(parts)
+
+
+def golden_matching_cell_16() -> str:
+    return golden_matching_cell(16)
+
+
+def golden_matching_cell_64() -> str:
+    return golden_matching_cell(64)
+
+
 GOLDEN_CELLS: dict[str, Callable[[], str]] = {
     "fig7_flat": golden_fig7_cell,
     "fault_matrix_2rack": golden_fault_matrix_cell,
+    "matching_16": golden_matching_cell_16,
+    "matching_64": golden_matching_cell_64,
 }
 
 #: digests recorded on the pre-fast-path kernel (the PR 5 seed state),
@@ -161,4 +206,7 @@ GOLDEN_CELLS: dict[str, Callable[[], str]] = {
 RECORDED_DIGESTS = {
     "fig7_flat": "385562b63a6a29f796821f4a2f741c1ed2288dd8c59393027d9cdf45235c6293",
     "fault_matrix_2rack": "bed96547f59609fc279e39b660430fc0dcec919fc40ac97b163bfcd55f02c982",
+    # Matching-limited collectives (pre-convoy kernel, PR 6 seed state).
+    "matching_16": "48432aa4b102815037eb310e2a719cf01d7363f7c6e62a9425052fbf4bc94b89",
+    "matching_64": "848116e1113ddf7de78e6f9c1bc095fdfd07c7b7f5eff407bd8898ac500ab655",
 }

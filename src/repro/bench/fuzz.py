@@ -1,0 +1,220 @@
+"""Differential fuzzing of the coalescing fast paths.
+
+The coalescing machinery (`repro.net.coalesce`, `repro.net.convoy`) promises
+*bit-for-bit* equivalence: a run with the fast paths enabled must produce
+exactly the completion times, per-link byte counters, control-message counts
+and ObjectID allocation order of a run with every fast path disabled.  The
+unit suites pin specific shapes; this module pins the combinatorial space
+around them — seeded random scenarios mixing collectives, cluster sizes,
+topologies, arrival jitter and fault schedules, each executed twice
+(fast paths on / off) and compared by digest.
+
+``tests/test_differential.py`` runs a fixed band of seeds in tier-1;
+
+    PYTHONPATH=src python -m repro.bench.fuzz --seeds 200
+
+runs a deep sweep.  Any mismatch prints the spec needed to reproduce it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.bench.digest import _digest, _flow_fingerprint, _object_id_state, _reset_object_ids
+from repro.net.config import NetworkConfig
+from repro.net.failure import poisson_failures
+from repro.net.topology import Topology
+
+MB = 1024 * 1024
+
+#: the default tier-1 band (see tests/test_differential.py).
+TIER1_SEEDS = tuple(range(20))
+
+
+@dataclass
+class ScenarioSpec:
+    """One reproducible differential scenario."""
+
+    seed: int
+    collective: str
+    system: str
+    num_nodes: int
+    nbytes: int
+    arrival_delays: Optional[list[float]] = None
+    racks: int = 1
+    oversubscription: float = 1.0
+    topology_aware: bool = False
+    bandwidth: float = 1.25e9
+    failure_rate: float = 0.0
+    failure_horizon: float = 0.0
+    failure_seed: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def describe(self) -> str:
+        bits = [
+            f"seed={self.seed}",
+            f"{self.system}/{self.collective}",
+            f"n={self.num_nodes}",
+            f"size={self.nbytes // MB}MB",
+        ]
+        if self.racks > 1:
+            bits.append(
+                f"racks={self.racks}x{self.num_nodes // self.racks}"
+                f"@{self.oversubscription}{'+aware' if self.topology_aware else ''}"
+            )
+        if self.arrival_delays:
+            bits.append(f"jitter<= {max(self.arrival_delays):.4f}s")
+        if self.failure_rate > 0:
+            bits.append(
+                f"faults(rate={self.failure_rate}, horizon={self.failure_horizon},"
+                f" fseed={self.failure_seed})"
+            )
+        return " ".join(bits)
+
+
+def generate_spec(seed: int) -> ScenarioSpec:
+    """Deterministically derive one scenario from ``seed``."""
+    rng = random.Random(0x5EED ^ seed)
+    collective = rng.choice(
+        [
+            "broadcast",
+            "reduce",
+            "allreduce",
+            "allreduce",
+            "allgather",
+            "allgather",
+            "alltoall",
+            "alltoall",
+            "gather",
+        ]
+    )
+    # Mostly the object plane (that is where the fast paths live), sometimes
+    # the static baselines (they register streams on the same links).
+    if collective in ("allreduce",) and rng.random() < 0.2:
+        system = rng.choice(["gloo", "openmpi"])
+    elif collective in ("allgather", "broadcast") and rng.random() < 0.15:
+        system = "openmpi"
+    else:
+        system = "hoplite"
+
+    num_nodes = rng.choice([4, 6, 8, 8, 12])
+    # 2-5 pipelining blocks: small enough to fuzz densely, large enough that
+    # every multi-block fast path (coalesced runs, convoys) can engage.
+    nbytes = rng.choice([6, 8, 9, 12, 17, 20]) * MB
+
+    spec = ScenarioSpec(
+        seed=seed,
+        collective=collective,
+        system=system,
+        num_nodes=num_nodes,
+        nbytes=nbytes,
+    )
+
+    # Arrival jitter for the collectives that take it (spread of a few block
+    # serialization times: enough to shuffle admission order).
+    if collective in ("broadcast", "reduce", "allreduce") and rng.random() < 0.6:
+        count = num_nodes - 1 if (collective == "broadcast" and system == "hoplite") else num_nodes
+        scale = rng.choice([0.002, 0.01, 0.05])
+        spec.arrival_delays = [rng.random() * scale for _ in range(count)]
+
+    # Hierarchical fabric with oversubscribed tier links.  Three racks give
+    # cross-rack flows to *distinct* destination racks, whose only shared
+    # contended link is the source rack's uplink — the tier-link convoy shape.
+    if rng.random() < 0.35:
+        fits = [r for r in (2, 3) if num_nodes % r == 0]
+        spec.racks = rng.choice(fits)
+        spec.oversubscription = rng.choice([2.0, 4.0])
+        spec.topology_aware = rng.random() < 0.5
+
+    # Fault schedules ride the collectives that support injected failures.
+    if collective in ("allgather", "alltoall") and system == "hoplite" and rng.random() < 0.35:
+        spec.bandwidth = 1.25e8  # slow the run down so failures land mid-flight
+        spec.failure_rate = rng.choice([2.0, 4.0])
+        spec.failure_horizon = 0.6
+        spec.failure_seed = rng.randrange(1 << 16)
+
+    return spec
+
+
+def _set_fast_paths(enabled: bool) -> None:
+    from repro.net import coalesce, convoy
+
+    coalesce.ENABLED = enabled
+    convoy.ENABLED = enabled
+
+
+def run_spec(spec: ScenarioSpec, fast_paths: bool) -> str:
+    """Run one scenario with the fast paths forced on or off; return its digest."""
+    from repro.bench import scenarios as sc
+    from repro.core.options import HopliteOptions
+
+    network_kwargs: dict = {}
+    if spec.bandwidth != 1.25e9:
+        network_kwargs["bandwidth"] = spec.bandwidth
+    if spec.racks > 1:
+        network_kwargs["topology"] = Topology.racks(
+            spec.racks, spec.num_nodes // spec.racks, oversubscription=spec.oversubscription
+        )
+    network = NetworkConfig(**network_kwargs) if network_kwargs else None
+    options = HopliteOptions(topology_aware=True) if spec.topology_aware else None
+
+    kwargs: dict = {"network": network, "flow_stats": {}}
+    if options is not None and spec.collective != "alltoall":
+        kwargs["options"] = options
+    if spec.arrival_delays is not None:
+        kwargs["arrival_delays"] = list(spec.arrival_delays)
+    if spec.failure_rate > 0:
+        kwargs["failures"] = poisson_failures(
+            node_ids=list(range(1, spec.num_nodes)),
+            rate_per_second=spec.failure_rate,
+            horizon=spec.failure_horizon,
+            downtime=0.2,
+            seed=spec.failure_seed,
+        )
+
+    measure = getattr(sc, f"measure_{spec.collective}")
+    _set_fast_paths(fast_paths)
+    _reset_object_ids()
+    try:
+        latency = measure(spec.system, spec.num_nodes, spec.nbytes, **kwargs)
+    finally:
+        _set_fast_paths(True)
+    stats = kwargs["flow_stats"]
+    parts: list = [(spec.describe(), repr(latency))]
+    parts.extend(_flow_fingerprint(stats))
+    parts.append(_object_id_state())
+    return _digest(parts)
+
+
+def differential(seed: int) -> tuple[ScenarioSpec, str, str]:
+    """Digests of one seeded scenario with fast paths on vs. off."""
+    spec = generate_spec(seed)
+    on = run_spec(spec, fast_paths=True)
+    off = run_spec(spec, fast_paths=False)
+    return spec, on, off
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", type=int, default=len(TIER1_SEEDS), help="number of seeds")
+    parser.add_argument("--start", type=int, default=0, help="first seed")
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    failures = 0
+    for seed in range(args.start, args.start + args.seeds):
+        spec, on, off = differential(seed)
+        ok = on == off
+        if not ok:
+            failures += 1
+        if args.verbose or not ok:
+            print(f"{'OK  ' if ok else 'FAIL'} {spec.describe()}")
+    print(f"{args.seeds - failures}/{args.seeds} seeds identical")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -205,6 +205,8 @@ def _basket() -> list[PerfScenario]:
 
 def run_basket(quick: bool = False, repeats: int = 2) -> list[dict]:
     """Run the (quick subset of the) basket; one result row per scenario."""
+    from repro.net import convoy
+
     rows = []
     for scenario in _basket():
         if quick and not scenario.quick:
@@ -212,6 +214,7 @@ def run_basket(quick: bool = False, repeats: int = 2) -> list[dict]:
         best_wall = None
         for _ in range(max(1, repeats)):
             _reset_object_ids()
+            convoy.reset_stats()
             start = time.perf_counter()
             sim_s, events = scenario.run()
             wall = time.perf_counter() - start
@@ -226,9 +229,21 @@ def run_basket(quick: bool = False, repeats: int = 2) -> list[dict]:
                 "wall_s": round(best_wall, 4),
                 "events": events,
                 "events_per_s": round(events / best_wall) if best_wall > 0 else 0,
+                # Deterministic per run, so the last repeat's counters stand
+                # for all of them.
+                "convoy": dict(convoy.STATS),
             }
         )
     return rows
+
+
+def convoy_totals(rows: list[dict]) -> dict[str, int]:
+    """Basket-wide sums of the convoy observability counters."""
+    totals: dict[str, int] = {}
+    for row in rows:
+        for key, value in row.get("convoy", {}).items():
+            totals[key] = totals.get(key, 0) + value
+    return totals
 
 
 def group_walls(rows: list[dict]) -> dict[str, float]:

@@ -76,8 +76,9 @@ class HierarchicalReduceExecution:
                 f"num_objects must be in [1, {len(self.source_ids)}], got {num_objects}"
             )
         self.degree: Optional[int] = None
-        #: rack index -> the intra-rack phase execution.
-        self.rack_executions: dict[int, ReduceExecution] = {}
+        #: rack index -> the intra-rack chain of fold executions (one entry in
+        #: the synchronized case; one extra stage per straggler batch).
+        self.rack_executions: dict[int, list[ReduceExecution]] = {}
         #: the inter-rack tree (or the flat fallback when grouping degenerates).
         self.top_execution: Optional[ReduceExecution] = None
         self._finished = Event(self.sim)
@@ -127,7 +128,7 @@ class HierarchicalReduceExecution:
         self.abort_reason = reason or "aborted"
         if self._driver is not None and self._driver.is_alive:
             self._driver.interrupt("hierarchical reduce aborted")
-        for execution in list(self.rack_executions.values()):
+        for execution in self._all_rack_executions():
             execution.abort(self.abort_reason)
         if self.top_execution is not None:
             self.top_execution.abort(self.abort_reason)
@@ -136,8 +137,8 @@ class HierarchicalReduceExecution:
     # -- coordination --------------------------------------------------------
     def _drive(self) -> Generator:
         try:
-            groups = yield from self._group_sources()
-            if len(groups) <= 1 or max(len(ids) for ids in groups.values()) <= 1:
+            top_sources = yield from self._grow_rack_trees()
+            if top_sources is None:
                 # Degenerate hierarchy — every source in one rack, or one
                 # source per rack: a single dynamic tree is already optimal.
                 # The flat execution takes over the registry entry (it is
@@ -155,27 +156,6 @@ class HierarchicalReduceExecution:
                 self._complete(result, result.reduced_ids)
                 return
 
-            nonce = self.runtime.hierarchical_reduce_seq
-            self.runtime.hierarchical_reduce_seq += 1
-            top_sources: list[ObjectID] = []
-            for rack in sorted(groups):
-                ids = groups[rack]
-                if len(ids) == 1:
-                    top_sources.append(ids[0])
-                    continue
-                rack_target = self.target_id.derived(f"hier{nonce}-rack{rack}")
-                rack_execution = ReduceExecution(
-                    self.runtime,
-                    self._rack_caller(rack),
-                    rack_target,
-                    ids,
-                    self.op,
-                )
-                self.rack_executions[rack] = rack_execution
-                rack_execution._ensure_driver()
-                self.runtime.orchestration.record_partial(self.target_id, rack_target)
-                top_sources.append(rack_target)
-
             top = ReduceExecution(
                 self.runtime, self.caller, self.target_id, top_sources, self.op
             )
@@ -187,14 +167,14 @@ class HierarchicalReduceExecution:
             self.runtime.active_reductions[self.target_id] = self
             result = yield from top.run()
 
+            source_set = set(self.source_ids)
             reduced: set[ObjectID] = set()
-            for rack_execution in self.rack_executions.values():
+            for rack_execution in self._all_rack_executions():
                 reduced.update(
                     state.object_id
                     for state in rack_execution.slots
-                    if state.object_id is not None
+                    if state.object_id is not None and state.object_id in source_set
                 )
-            source_set = set(self.source_ids)
             reduced.update(oid for oid in result.reduced_ids if oid in source_set)
             self._complete(result, sorted(reduced, key=lambda oid: oid.key))
         except Interrupt:
@@ -206,6 +186,9 @@ class HierarchicalReduceExecution:
                 self.abort("reduce phase aborted")
         except Exception as exc:  # noqa: BLE001 - nobody awaits this process
             self.abort(f"driver error: {exc!r}")
+
+    def _all_rack_executions(self) -> list[ReduceExecution]:
+        return [ex for chain in self.rack_executions.values() for ex in chain]
 
     def _complete(self, result: ReduceResult, reduced_ids) -> None:
         reduced = list(reduced_ids)
@@ -223,18 +206,49 @@ class HierarchicalReduceExecution:
             self._finished.succeed(self._result)
 
     # -- grouping ------------------------------------------------------------
-    def _group_sources(self) -> Generator:
-        """Bin the first ``num_objects`` ready sources by hosting rack.
+    def _grow_rack_trees(self) -> Generator:
+        """Locate sources and grow per-rack reduce trees as they arrive.
 
-        In the synchronized case (every ``Put`` done before the Reduce) all
-        creation events have already fired and this costs zero simulated
-        time; with staggered arrivals the hierarchy waits for the last
-        needed arrival before fixing the rack membership.
+        Returns the inter-rack top source list, or ``None`` when the
+        hierarchy degenerates (every source in one rack, or one source per
+        rack) and the flat tree should take over.
+
+        Unlike a bin-then-build pass, a rack tree starts the moment its rack
+        has two ready sources — start-on-first-arrival holds under staggered
+        arrivals.  Each later arrival folds into the rack's running partial
+        as a chained two-input stage, so a straggler costs one extra
+        intra-rack edge instead of stalling the whole hierarchy behind the
+        last ``Put``.  In the synchronized case every creation event has
+        already fired, all sources drain in the first pass, and each rack
+        folds exactly once — the same executions, names and creation order
+        as the old group-then-build construction.
         """
         directory = self.runtime.directory
-        groups: dict[int, list[ObjectID]] = {}
+        pending: dict[int, list[ObjectID]] = {}  # located, not yet folded
+        partials: dict[int, ObjectID] = {}  # rack -> chain-head partial id
         remaining = list(self.source_ids)
         located = 0
+        nonce: Optional[int] = None
+
+        def fold(rack: int) -> None:
+            nonlocal nonce
+            inputs = pending.pop(rack)
+            if rack in partials:
+                inputs = [partials[rack]] + inputs
+            if nonce is None:
+                nonce = self.runtime.hierarchical_reduce_seq
+                self.runtime.hierarchical_reduce_seq += 1
+            chain = self.rack_executions.setdefault(rack, [])
+            suffix = f"-g{len(chain)}" if chain else ""
+            rack_target = self.target_id.derived(f"hier{nonce}-rack{rack}{suffix}")
+            execution = ReduceExecution(
+                self.runtime, self._rack_caller(rack), rack_target, inputs, self.op
+            )
+            chain.append(execution)
+            execution._ensure_driver()
+            self.runtime.orchestration.record_partial(self.target_id, rack_target)
+            partials[rack] = rack_target
+
         while located < self.num_objects:
             events = [(oid, directory.creation_event(oid)) for oid in remaining]
             yield self.sim.any_of([event for _oid, event in events])
@@ -247,7 +261,7 @@ class HierarchicalReduceExecution:
                 if rack is None:
                     still.append(oid)
                 else:
-                    groups.setdefault(rack, []).append(oid)
+                    pending.setdefault(rack, []).append(oid)
                     located += 1
                     progress = True
             remaining = still
@@ -255,7 +269,35 @@ class HierarchicalReduceExecution:
                 # A source was created but its only copy died with its node;
                 # wait out a detection delay for reconstruction to re-Put it.
                 yield self.sim.timeout(self.config.failure_detection_delay)
-        return groups
+                continue
+            # Fold every rack holding two ready inputs — but only once a
+            # second rack exists (an all-one-rack reduce must stay eligible
+            # for the flat fallback), and only while arrivals are still
+            # outstanding (the last pass is handled below, where the
+            # synchronized case folds each rack exactly once).
+            if len(pending.keys() | partials.keys()) >= 2 and located < self.num_objects:
+                for rack in sorted(pending):
+                    if len(pending[rack]) + (1 if rack in partials else 0) >= 2:
+                        fold(rack)
+
+        racks = sorted(pending.keys() | partials.keys())
+        if not partials and (
+            len(racks) <= 1 or max(len(ids) for ids in pending.values()) <= 1
+        ):
+            return None
+        # Membership is complete: fold whatever is still unfolded into its
+        # rack's chain (or start the chain, for racks first seen late).
+        for rack in sorted(pending):
+            if len(pending[rack]) + (1 if rack in partials else 0) >= 2:
+                fold(rack)
+        top_sources: list[ObjectID] = []
+        for rack in racks:
+            if rack in partials:
+                top_sources.append(partials[rack])
+            else:
+                # A single-source rack contributes its raw object directly.
+                top_sources.append(pending[rack][0])
+        return top_sources
 
     def _rack_of_object(self, object_id: ObjectID) -> Optional[int]:
         """The rack hosting the object's best alive copy (``None`` if lost)."""

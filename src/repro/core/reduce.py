@@ -37,7 +37,9 @@ from repro.net.coalesce import (
     register_stream,
     unregister_stream,
 )
-from repro.net.flowsched import Flow, FlowClass
+from repro.net import convoy
+from repro.net.convoy import StreamHandle
+from repro.net.flowsched import ADOPTED, Flow, FlowClass
 from repro.net.node import Node
 from repro.net.transport import TransferError, local_copy_block, transfer_block
 from repro.sim import Event, Interrupt, Process
@@ -775,12 +777,37 @@ class ReduceExecution:
             # links re-splits before the per-block interleaving starts.
             if same_node:
                 links = [(parent_node.memcpy_channel, None)]
+                account_out = account_in = None
             else:
                 links = nic_path_links(child_node, parent_node)
-            register_stream(links)
+                parent_store = runtime.store(parent_node)
+                account_out = lambda nb: child_store.account_flow_out(flow, nb)  # noqa: E731
+                account_in = lambda nb: parent_store.account_flow_in(flow, nb)  # noqa: E731
+            handle = StreamHandle(
+                "copy" if same_node else "nic",
+                config,
+                parent_node if same_node else child_node,
+                parent_node,
+                flow,
+                links,
+                staging,
+                source_entry=child_entry,
+                account_out=account_out,
+                account_in=account_in,
+            )
+            register_stream(links, handle)
             config_ = self.runtime.config
             try:
                 while staging.blocks_ready < staging.num_blocks:
+                    handle.phase = convoy.TOP
+                    run = handle.adopted_run
+                    if run is not None:
+                        # A convoy (typically the parent's fan-in) formed
+                        # around this stream; drive our planned share of it.
+                        handle.adopted_run = None
+                        handle.phase = convoy.RUN
+                        yield from run.run()
+                        continue
                     block_index = staging.blocks_ready
                     # Coalesced fast path (see _pull_blocks): stream every
                     # block the child holds — or will produce on a known
@@ -790,12 +817,6 @@ class ReduceExecution:
                         if horizon - block_index >= 2 and not staging._no_coalesce:
                             run_src = parent_node if same_node else child_node
                             if coalesce_eligible(links, run_src, parent_node):
-                                if same_node:
-                                    account_out = account_in = None
-                                else:
-                                    parent_store = runtime.store(parent_node)
-                                    account_out = lambda nb: child_store.account_flow_out(flow, nb)  # noqa: B023
-                                    account_in = lambda nb: parent_store.account_flow_in(flow, nb)  # noqa: B023
                                 run = build_pull_run(
                                     config_,
                                     run_src,
@@ -810,6 +831,14 @@ class ReduceExecution:
                                     account_out=account_out,
                                     account_in=account_in,
                                 )
+                                handle.phase = convoy.RUN
+                                yield from run.run()
+                                continue
+                            # Contended link (e.g. sibling partials on the
+                            # parent downlink): try the convoy fast path.
+                            run = convoy.maybe_form(handle, block_index)
+                            if run is not None:
+                                handle.phase = convoy.RUN
                                 yield from run.run()
                                 continue
                     if (
@@ -819,26 +848,44 @@ class ReduceExecution:
                         # About to park outside a coalesced run: per-block
                         # mark ordering required (see _pull_blocks).
                         child_entry.decoalesce()
-                    yield self._race_peer_failure(
-                        child_entry.wait_for_blocks(block_index + 1), child_node, parent_node
-                    )
+                    gate = child_entry.wait_for_blocks(block_index + 1)
+                    handle.phase = convoy.GATE
+                    handle.gate_event = gate
+                    yield self._race_peer_failure(gate, child_node, parent_node)
+                    handle.gate_event = None
+                    if handle.poked:
+                        handle.poked = False
+                        continue
                     if not child_node.alive or not parent_node.alive:
                         raise TransferError("peer failed during reduce stream", node=child_node)
                     nbytes = config.block_bytes(staging.size, block_index)
                     if same_node:
-                        yield from local_copy_block(config, parent_node, nbytes)
+                        result = yield from local_copy_block(
+                            config, parent_node, nbytes, handle
+                        )
                     else:
-                        yield from transfer_block(config, child_node, parent_node, nbytes, flow)
+                        result = yield from transfer_block(
+                            config, child_node, parent_node, nbytes, flow, handle
+                        )
+                    if result is ADOPTED:
+                        continue
+                    if not same_node:
                         child_store.account_flow_out(flow, nbytes)
                         runtime.store(parent_node).account_flow_in(flow, nbytes)
                     staging.mark_block_ready(block_index)
+                # Parked on the seal from here on: a completed, passive
+                # stream as far as any later convoy formation is concerned.
+                handle.phase = convoy.TOP
                 yield self._race_peer_failure(
                     child_entry.wait_sealed(), child_node, parent_node
                 )
                 if child_entry.sealed:
                     staging.seal(child_entry.payload)
             finally:
-                unregister_stream(links)
+                if handle.preplaced is not None:
+                    handle.preplaced.cancel()
+                    handle.preplaced = None
+                unregister_stream(links, handle)
                 child_entry.ref_count -= 1
         except Interrupt:
             return

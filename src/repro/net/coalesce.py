@@ -174,6 +174,7 @@ class CoalescedRun:
         "_accounted",
         "_synthetic",
         "_listening",
+        "preattached",
     )
 
     def __init__(
@@ -192,6 +193,7 @@ class CoalescedRun:
         account_in: Optional[Callable[[int], None]] = None,
         ready_times: Optional[Sequence[float]] = None,
         src_schedule: Optional[InflightSchedule] = None,
+        boundaries: Optional[tuple[Sequence[float], Sequence[float], Sequence[float]]] = None,
     ):
         self.sim = sim
         self.src = src
@@ -206,24 +208,31 @@ class CoalescedRun:
         self.account_out = account_out
         self.account_in = account_in
         self.n = len(self.sizes)
-        # Boundary arrays built with the exact float recurrence of the
-        # per-block chain: s_{j+1} = max((s_j + tx_j) + L, source arrival),
-        # left-associated.  ``ready_times`` (absolute) gate blocks the
-        # source has not produced yet — the relay cascade.
-        s: list[float] = []
-        e: list[float] = []
-        arr: list[float] = []
-        t = sim._now
-        for j, tx_j in enumerate(self.tx):
-            if ready_times is not None:
-                ready = ready_times[j]
-                if ready > t:
-                    t = ready
-            s.append(t)
-            t = t + tx_j
-            e.append(t)
-            t = t + latency
-            arr.append(t)
+        if boundaries is not None:
+            # Injected boundaries (convoy members): the planner already
+            # replayed the admission algorithm and produced the exact
+            # grant/end/arrival instants of every block.
+            s, e, arr = boundaries
+            s, e, arr = list(s), list(e), list(arr)
+        else:
+            # Boundary arrays built with the exact float recurrence of the
+            # per-block chain: s_{j+1} = max((s_j + tx_j) + L, source arrival),
+            # left-associated.  ``ready_times`` (absolute) gate blocks the
+            # source has not produced yet — the relay cascade.
+            s = []
+            e = []
+            arr = []
+            t = sim._now
+            for j, tx_j in enumerate(self.tx):
+                if ready_times is not None:
+                    ready = ready_times[j]
+                    if ready > t:
+                        t = ready
+                s.append(t)
+                t = t + tx_j
+                e.append(t)
+                t = t + latency
+                arr.append(t)
         self.s = s
         self.e = e
         self.arr = arr
@@ -237,6 +246,9 @@ class CoalescedRun:
         self._accounted = 0  # blocks fully link-accounted so far
         self._synthetic = False
         self._listening = False
+        #: True when an owning domain attached holds/schedule synchronously
+        #: at formation time (so ``run`` must not attach again).
+        self.preattached = False
 
     # -- virtual-hold protocol (shared by every claimed resource) ----------
     def occupied(self, at: float) -> int:
@@ -263,7 +275,21 @@ class CoalescedRun:
         converts the arithmetic occupancy into real holds (when inside a
         transmission window) and wakes the driver, which then walks the
         remaining boundary exactly as the per-block chain would have.
+
+        Convoy members override this to materialize their whole domain (one
+        member's plan is only valid while every member's is), then fall back
+        here per member via :meth:`_materialize_self`.
         """
+        self._materialize_self()
+
+    def _on_unwind(self) -> None:
+        """Hook: the owning process unwound mid-run.
+
+        Convoy members override it to materialize their whole domain before
+        the teardown accounting below runs (their plan dies with them).
+        """
+
+    def _materialize_self(self) -> None:
         if self.state != _VIRTUAL:
             return
         now = self.sim._now
@@ -294,8 +320,11 @@ class CoalescedRun:
         if self.schedule is not None:
             # Arrivals after ``now`` (beyond the current block's, which the
             # driver delivers) are no longer scheduled; dependent cascaded
-            # runs re-split with us.
-            self.schedule.truncate(bisect_right(self.arr, now))
+            # runs re-split with us.  (A convoy lead member's schedule starts
+            # one block before the run, hence the base offset.)
+            self.schedule.truncate(
+                bisect_right(self.arr, now) + (self.base - self.schedule.base)
+            )
         wake = self._wake
         if wake is not None and wake._ok is None:
             wake.succeed()
@@ -332,9 +361,13 @@ class CoalescedRun:
             except ValueError:
                 pass
             self.src_schedule = None
-        if self.state == _VIRTUAL:
-            for resource, _sched in self.links:
-                resource.remove_virtual_hold(self)
+        # Unconditional: a materialized run already removed its holds (the
+        # removal is idempotent), but an *undisturbed* run reaches here in
+        # the _DONE state with its holds still attached — leaving them would
+        # wedge `coalesce_eligible` (non-empty ``_virtual``) for every later
+        # run on these links.
+        for resource, _sched in self.links:
+            resource.remove_virtual_hold(self)
         if self._synthetic:
             self._release_synthetic()
         if self._listening:
@@ -401,7 +434,8 @@ class CoalescedRun:
         loop takes over from there.
         """
         sim = self.sim
-        self._attach()
+        if not self.preattached:
+            self._attach()
         try:
             end = self.arr[-1]
             while self.state == _VIRTUAL and sim._now < end:
@@ -458,6 +492,7 @@ class CoalescedRun:
                 # completed blocks in full, a current transmission window
                 # released early at a partial hold, marks only for blocks
                 # that actually arrived.
+                self._on_unwind()
                 now = sim._now
                 cap = self.cur if self.state == _MATERIALIZED else self.n - 1
                 i = bisect_right(self.s, now) - 1
@@ -477,7 +512,9 @@ class CoalescedRun:
                     arrived = 0
                 self.state = _DONE
                 if self.schedule is not None:
-                    self.schedule.truncate(arrived)
+                    self.schedule.truncate(
+                        arrived + (self.base - self.schedule.base)
+                    )
                 self._deliver(arrived)
             self._detach()
 
@@ -487,7 +524,9 @@ class CoalescedRun:
 ENABLED = True
 
 
-def register_stream(links: Sequence[tuple["Resource", object]]) -> None:
+def register_stream(
+    links: Sequence[tuple["Resource", object]], handle: object = None
+) -> None:
     """Announce a multi-block transfer stream on its claim set.
 
     Every multi-block loop (pulls, whole-object sends, reduce partial
@@ -501,16 +540,37 @@ def register_stream(links: Sequence[tuple["Resource", object]]) -> None:
     * a *new* stream materializes any standing coalesced run on its links
       before taking its first action, so the run re-splits to per-block
       granularity before the interleaving begins.
+
+    A *convoy-capable* stream (see :mod:`repro.net.convoy`) passes its
+    :class:`~repro.net.convoy.StreamHandle`, which lets convoy formation
+    enumerate and conscript the streams sharing a contended link.  Opaque
+    streams (no handle) bar convoy formation on their links but behave
+    identically otherwise.  Registration also stamps the link's quiet
+    clock: a link whose stream set changed recently is churning, and a
+    convoy over it would re-split immediately.
     """
     for resource, _sched in links:
         resource._streams += 1
+        resource._joined_at = resource.sim._now
+        if handle is not None:
+            resource._handles.append(handle)
         if resource._virtual:
             resource._materialize_virtual()
 
 
-def unregister_stream(links: Sequence[tuple["Resource", object]]) -> None:
+def unregister_stream(
+    links: Sequence[tuple["Resource", object]], handle: object = None
+) -> None:
+    # Departure is never a disturbance: a leaving stream has no pending
+    # requests (its last release already triggered the grant scans), so no
+    # standing run's plan can be invalidated by it.
     for resource, _sched in links:
         resource._streams -= 1
+        if handle is not None:
+            try:
+                resource._handles.remove(handle)
+            except ValueError:  # pragma: no cover - defensive
+                pass
 
 
 class ComputeRun:

@@ -72,6 +72,24 @@ class Flow:
 DEFAULT_FLOW = Flow("untagged", FlowClass.BULK)
 
 
+#: Returned (via StopIteration) by handle-threaded transfers when a convoy
+#: formation adopted the stream while it was parked on admission: no block
+#: moved, no bytes were accounted; the caller's loop re-enters its top and
+#: drives the run the formation left on its handle.
+ADOPTED = object()
+
+#: Convoy stream phases, stamped on a :class:`repro.net.convoy.StreamHandle`
+#: at every parking point.  Defined here — below :mod:`repro.net.convoy` in
+#: the import graph — so the transfer paths can stamp them without importing
+#: the convoy machinery; convoy re-exports them under its own names.
+PHASE_TOP = 0  #: at the top of its block loop
+PHASE_GATE = 1  #: parked on the source entry's ``wait_for_blocks``
+PHASE_ADMIT = 2  #: reservation/request queued, not granted
+PHASE_TX = 3  #: holding its links until ``tx_end``
+PHASE_LAT = 4  #: links released, block arrives at ``arr_at``
+PHASE_RUN = 5  #: driving a coalesced/convoy run
+
+
 def path_transmission_time(config: NetworkConfig, src: "Node", dst: "Node", nbytes: float) -> float:
     """Serialization time of one block at the ``src -> dst`` bottleneck rate.
 
@@ -142,6 +160,27 @@ class LinkScheduler:
     def record_control(self) -> None:
         """Count one control-plane message leaving through this direction."""
         self.control_messages += 1
+
+    def lockstep_candidates(self) -> Optional[list]:
+        """Stream handles of a potential lockstep convoy on this link.
+
+        A contended, capacity-1 link whose every registered stream published
+        a convoy :class:`~repro.net.convoy.StreamHandle` is a candidate
+        bottleneck for arithmetic convoy simulation; this is the
+        saturation-detection half of formation (the plan validation lives in
+        :func:`repro.net.convoy.maybe_form`).  Returns the handles, or
+        ``None`` when the link is idle, exclusive, oversized, or carries an
+        opaque (handle-less) stream.
+        """
+        link = self.link
+        handles = link._handles
+        if (
+            link.capacity == 1
+            and link._streams > 1
+            and len(handles) == link._streams
+        ):
+            return list(handles)
+        return None
 
 
 class Reservation:
@@ -226,16 +265,34 @@ class FlowTransport:
 
     # -- transfers ---------------------------------------------------------
     def transfer_block(
-        self, src: "Node", dst: "Node", nbytes: int, flow: Optional[Flow] = None
+        self,
+        src: "Node",
+        dst: "Node",
+        nbytes: int,
+        flow: Optional[Flow] = None,
+        handle=None,
     ) -> Generator:
         """Move one block from ``src`` to ``dst`` under flow scheduling.
 
         Returns (via StopIteration) the simulated time at which the block is
-        fully available at the destination.
+        fully available at the destination.  ``handle`` is the caller's
+        convoy :class:`~repro.net.convoy.StreamHandle` when the caller is a
+        multi-block loop: the transfer keeps its phase/timestamps current at
+        every parking point so a convoy can form around the stream while it
+        waits, consumes a materialization's preplaced reservation, and backs
+        out with :data:`ADOPTED` (no block moved, nothing accounted) when a
+        formation withdrew its queued admission.
         """
         sim = src.sim
         _check_alive(src, dst)
-        reservation = self.reserve(src, dst, nbytes, flow)
+        if handle is not None and handle.preplaced is not None:
+            reservation = handle.preplaced
+            handle.preplaced = None
+        else:
+            reservation = self.reserve(src, dst, nbytes, flow)
+        if handle is not None:
+            handle.phase = PHASE_ADMIT
+            handle.reservation = reservation
         try:
             if not reservation.event.triggered:
                 # Race the queued admission against either peer dying.  The
@@ -254,6 +311,9 @@ class FlowTransport:
                 finally:
                     src.remove_failure_listener(_notify)
                     dst.remove_failure_listener(_notify)
+                if handle is not None and handle.poked:
+                    handle.poked = False
+                    return ADOPTED
                 if not reservation.event.triggered:
                     # A peer died while the reservation was still queued:
                     # withdraw the claim so no ghost request survives, then
@@ -264,11 +324,21 @@ class FlowTransport:
                         node=dead,
                     )
             _check_alive(src, dst)
-            yield sim.timeout(path_transmission_time(self.config, src, dst, nbytes))
+            tx_t = path_transmission_time(self.config, src, dst, nbytes)
+            if handle is not None:
+                handle.phase = PHASE_TX
+                handle.tx_end = sim._now + tx_t
+            yield sim.timeout(tx_t)
             _check_alive(src, dst)
         finally:
             reservation.release()
-        yield sim.timeout(path_latency(self.config, src, dst))
+            if handle is not None:
+                handle.reservation = None
+        lat = path_latency(self.config, src, dst)
+        if handle is not None:
+            handle.phase = PHASE_LAT
+            handle.arr_at = sim._now + lat
+        yield sim.timeout(lat)
         _check_alive(dst)
         return sim.now
 

@@ -288,6 +288,21 @@ class Fabric:
                         sim, f"zone{zone}-down", "zone_down", slots, rate
                     )
 
+    def tier_links(self) -> list[FabricLink]:
+        """Every shared tier link, in a stable order (racks, then zones).
+
+        Convoy formation (:mod:`repro.net.convoy`) treats a single-slot tier
+        link exactly like a NIC direction — it carries the same admission
+        ``Resource`` and :class:`~repro.net.flowsched.LinkScheduler` — so
+        observability surfaces iterate this list to attribute convoy domains
+        and utilization to the fabric tiers.
+        """
+        links = [link for link in self.rack_up if link is not None]
+        links += [link for link in self.rack_down if link is not None]
+        links += list(self.zone_up.values())
+        links += list(self.zone_down.values())
+        return links
+
     # -- paths ---------------------------------------------------------------
     def path_links(self, src_id: int, dst_id: int) -> tuple[FabricLink, ...]:
         """Every shared tier link a ``src -> dst`` block must claim a slot on.

@@ -221,7 +221,18 @@ class Resource:
     resource busy (work conservation).
     """
 
-    __slots__ = ("sim", "capacity", "_in_use", "_waiting", "_granted", "_virtual", "_streams")
+    __slots__ = (
+        "sim",
+        "capacity",
+        "_in_use",
+        "_waiting",
+        "_granted",
+        "_virtual",
+        "_streams",
+        "_handles",
+        "_joined_at",
+        "_cooldown",
+    )
 
     def __init__(self, sim: Simulator, capacity: int = 1):
         if capacity <= 0:
@@ -238,6 +249,15 @@ class Resource:
         #: per-block streams sharing a link interleave in an order set by
         #: event-queue history, which arithmetic cannot reproduce.
         self._streams = 0
+        #: convoy-capable stream handles registered here (see net/convoy).
+        #: ``len(_handles) < _streams`` means an opaque per-block stream is
+        #: also using the link, which bars convoy formation on it.
+        self._handles: list = []
+        #: simulated time of the last stream registration — the convoy
+        #: quiet-gate: a link whose membership changed recently is churning.
+        self._joined_at = -1.0
+        #: no convoy formation attempt on this link before this time.
+        self._cooldown = 0.0
 
     @property
     def in_use(self) -> int:
@@ -254,7 +274,22 @@ class Resource:
 
     @property
     def queue_length(self) -> int:
-        return len(self._waiting)
+        """Requests waiting right now — real queue entries plus virtual ones.
+
+        A convoy member whose planned admission for the current block has not
+        been granted yet occupies a *virtual* queue slot (``hold.queued``),
+        exactly as its per-block reservation would sit in ``_waiting``.
+        """
+        virtual = self._virtual
+        if not virtual:
+            return len(self._waiting)
+        now = self.sim._now
+        total = len(self._waiting)
+        for hold in virtual:
+            queued = getattr(hold, "queued", None)
+            if queued is not None:
+                total += queued(now)
+        return total
 
     # -- virtual holds ------------------------------------------------------
     def add_virtual_hold(self, hold: Any) -> None:

@@ -185,9 +185,12 @@ class StoredObject:
             for threshold, event in self._progress_waiters:
                 if event.triggered:
                     continue
-                if threshold <= top:
+                if schedule.base < threshold <= top:
                     schedule.schedule_waiter(threshold, event)
                 else:
+                    # Below the window (a convoy lead member's schedule
+                    # starts one already-satisfied block early) or beyond
+                    # it: ordinary marks fire these.
                     remaining.append((threshold, event))
             self._progress_waiters = remaining
 

@@ -19,6 +19,7 @@ from repro.bench.digest import (
     RECORDED_DIGESTS as RECORDED,
     golden_fault_matrix_cell,
     golden_fig7_cell,
+    golden_matching_cell,
 )
 
 
@@ -28,6 +29,16 @@ def test_golden_fig7_cell_matches_pre_fastpath_kernel():
 
 def test_golden_fault_matrix_cell_matches_pre_fastpath_kernel():
     assert golden_fault_matrix_cell() == RECORDED["fault_matrix_2rack"]
+
+
+def test_golden_matching_cell_16_matches_pre_convoy_kernel():
+    """Contention-bound collectives at 16 nodes (pre-convoy recording)."""
+    assert golden_matching_cell(16) == RECORDED["matching_16"]
+
+
+def test_golden_matching_cell_64_matches_pre_convoy_kernel():
+    """The fig7_64_matching population itself (pre-convoy recording)."""
+    assert golden_matching_cell(64) == RECORDED["matching_64"]
 
 
 @pytest.mark.parametrize("cell", ["fig7_flat", "fault_matrix_2rack"])

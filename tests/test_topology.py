@@ -494,3 +494,69 @@ def test_hierarchical_reduce_adoption_and_flat_fallback():
         ReduceOp.SUM,
     )
     assert isinstance(flat, ReduceExecution)
+
+
+def test_hierarchical_reduce_starts_before_last_arrival():
+    """A straggling Put must not stall the rack trees (start-on-first-arrival).
+
+    The flat dynamic tree starts reducing at the *first* ready source; the
+    hierarchical composition must preserve that under staggered arrivals by
+    growing each rack's tree incrementally — a straggler joins its rack's
+    running partial as one chained fold stage instead of gating the whole
+    grouping pass on the last arrival.
+    """
+    import repro.core.hierarchical as hierarchical_mod
+
+    topo = Topology.racks(2, 3, oversubscription=4.0)
+    cluster = Cluster(6, topology=topo)
+    runtime = HopliteRuntime(cluster, options=HopliteOptions(topology_aware=True))
+    sim = cluster.sim
+    source_ids = [ObjectID.of(f"hier-jitter-src-{i}") for i in range(6)]
+    delays = [0.0, 0.0, 0.0, 0.0, 0.0, 0.5]
+
+    def put(node_id):
+        if delays[node_id]:
+            yield sim.timeout(delays[node_id])
+        yield from runtime.client(node_id).put(
+            source_ids[node_id],
+            ObjectValue.from_array(np.full(4, float(node_id + 1)), logical_size=4 * MB),
+        )
+
+    for i in range(6):
+        sim.process(put(i))
+
+    created = []
+    real = hierarchical_mod.ReduceExecution
+
+    def spy(runtime_, caller, target_id, src, op, **kwargs):
+        created.append((sim.now, target_id.key))
+        return real(runtime_, caller, target_id, src, op, **kwargs)
+
+    target_id = ObjectID.of("hier-jitter-target")
+    done = {}
+
+    def scenario():
+        result = yield from runtime.client(0).reduce(target_id, source_ids, ReduceOp.SUM)
+        value = yield from runtime.client(0).get(target_id)
+        done["result"] = result
+        done["value"] = value
+
+    sim.process(scenario())
+    hierarchical_mod.ReduceExecution = spy
+    try:
+        cluster.run()
+    finally:
+        hierarchical_mod.ReduceExecution = real
+
+    rack_creations = [t for t, key in created if "-rack" in key]
+    assert rack_creations, "expected per-rack executions"
+    # Both racks have two ready sources at t=0; their trees must start well
+    # before the straggler's Put at t=0.5.
+    assert min(rack_creations) < 0.5, rack_creations
+    # The straggler joined as a chained fold stage, not a restart.
+    assert any(key.endswith("-g1") for _t, key in created), created
+    assert np.allclose(done["value"].as_array(), sum(range(1, 7)))
+    assert sorted(o.key for o in done["result"].reduced_ids) == sorted(
+        o.key for o in source_ids
+    )
+    assert done["result"].unreduced_ids == []
