@@ -278,5 +278,6 @@ def run_moe_routing(
             "dropped_bytes": dropped_bytes,
             #: peak per-expert load over the pre-drop mean (1.0 == uniform).
             "load_imbalance": load_imbalance,
+            "fastpath": cluster.fastpath_stats.as_dict(),
         },
     )

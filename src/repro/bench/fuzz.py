@@ -139,17 +139,11 @@ def generate_spec(seed: int) -> ScenarioSpec:
     return spec
 
 
-def _set_fast_paths(enabled: bool) -> None:
-    from repro.net import coalesce, convoy
-
-    coalesce.ENABLED = enabled
-    convoy.ENABLED = enabled
-
-
 def run_spec(spec: ScenarioSpec, fast_paths: bool) -> str:
     """Run one scenario with the fast paths forced on or off; return its digest."""
     from repro.bench import scenarios as sc
     from repro.core.options import HopliteOptions
+    from repro.net.fastpath import fastpath
 
     network_kwargs: dict = {}
     if spec.bandwidth != 1.25e9:
@@ -176,12 +170,9 @@ def run_spec(spec: ScenarioSpec, fast_paths: bool) -> str:
         )
 
     measure = getattr(sc, f"measure_{spec.collective}")
-    _set_fast_paths(fast_paths)
     _reset_object_ids()
-    try:
+    with fastpath(fast_paths):
         latency = measure(spec.system, spec.num_nodes, spec.nbytes, **kwargs)
-    finally:
-        _set_fast_paths(True)
     stats = kwargs["flow_stats"]
     parts: list = [(spec.describe(), repr(latency))]
     parts.extend(_flow_fingerprint(stats))

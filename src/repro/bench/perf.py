@@ -65,13 +65,13 @@ def _reset_object_ids() -> None:
     reset_id_counter()
 
 
-def _measured(measure, *args, **kwargs) -> tuple[float, int]:
+def _measured(measure, *args, **kwargs) -> tuple[float, int, dict]:
     stats: dict = {}
     sim_s = measure(*args, flow_stats=stats, **kwargs)
-    return sim_s, stats["events_processed"]
+    return sim_s, stats["events_processed"], stats["fastpath"]
 
 
-def _topology(measure, nodes_per_rack: int, nbytes: int, **kwargs) -> tuple[float, int]:
+def _topology(measure, nodes_per_rack: int, nbytes: int, **kwargs) -> tuple[float, int, dict]:
     from repro.bench.scenarios import rack_interleaved_delays
     from repro.core.options import HopliteOptions
 
@@ -92,11 +92,11 @@ def _topology(measure, nodes_per_rack: int, nbytes: int, **kwargs) -> tuple[floa
     )
 
 
-def _moe(num_nodes: int, num_iterations: int) -> tuple[float, int]:
+def _moe(num_nodes: int, num_iterations: int) -> tuple[float, int, dict]:
     from repro.apps.moe import run_moe_routing
 
     result = run_moe_routing(num_nodes, "hoplite", num_iterations=num_iterations)
-    return result.duration, result.metrics["events_processed"]
+    return result.duration, result.metrics["events_processed"], result.metrics["fastpath"]
 
 
 def _basket() -> list[PerfScenario]:
@@ -205,8 +205,6 @@ def _basket() -> list[PerfScenario]:
 
 def run_basket(quick: bool = False, repeats: int = 2) -> list[dict]:
     """Run the (quick subset of the) basket; one result row per scenario."""
-    from repro.net import convoy
-
     rows = []
     for scenario in _basket():
         if quick and not scenario.quick:
@@ -214,9 +212,8 @@ def run_basket(quick: bool = False, repeats: int = 2) -> list[dict]:
         best_wall = None
         for _ in range(max(1, repeats)):
             _reset_object_ids()
-            convoy.reset_stats()
             start = time.perf_counter()
-            sim_s, events = scenario.run()
+            sim_s, events, fastpath = scenario.run()
             wall = time.perf_counter() - start
             if best_wall is None or wall < best_wall:
                 best_wall = wall
@@ -229,9 +226,10 @@ def run_basket(quick: bool = False, repeats: int = 2) -> list[dict]:
                 "wall_s": round(best_wall, 4),
                 "events": events,
                 "events_per_s": round(events / best_wall) if best_wall > 0 else 0,
-                # Deterministic per run, so the last repeat's counters stand
-                # for all of them.
-                "convoy": dict(convoy.STATS),
+                # Per-cluster fast-path counters (repro.net.fastpath), read
+                # off the scenario's own cluster: deterministic per run, so
+                # the last repeat's counters stand for all of them.
+                "convoy": fastpath,
             }
         )
     return rows

@@ -95,21 +95,75 @@ class LinkUsage:
     tier: str = "nic"
 
 
+@dataclass
+class FlowUsage:
+    """The frozen return schema of :func:`collect_flow_usage`.
+
+    Callers historically consume a plain dict (``flow_stats.update(...)``,
+    digest fingerprints over selected keys), so :func:`collect_flow_usage`
+    returns :meth:`as_dict`; this dataclass is the schema contract the
+    tests pin.  Remove or rename a field here and
+    ``tests/test_flow_usage_schema.py`` fails before any consumer does.
+    """
+
+    #: simulated seconds the scenario ran for (utilization denominator).
+    elapsed: float
+    #: kernel events processed by the cluster's simulator so far.
+    events_processed: int
+    #: one :class:`LinkUsage` per NIC direction and per shared fabric link.
+    links: list[LinkUsage]
+    #: uplink-side aggregate bytes per flow-class name (no double counting).
+    bytes_by_class: dict[str, int]
+    mean_uplink_utilization: float
+    max_uplink_utilization: float
+    #: control-plane messages sent (directory RPCs etc.).
+    control_messages: int
+    #: bytes that crossed each tier, egress side only: ``nic`` /
+    #: ``rack_uplink`` / ``inter_zone``.
+    tier_bytes: dict[str, int]
+    #: busy seconds per tier, same keys as ``tier_bytes``.
+    tier_busy_time: dict[str, float]
+    #: fraction of NIC bytes that also crossed the rack uplink tier.
+    cross_rack_fraction: float
+    #: fraction of NIC bytes that also crossed the inter-zone tier.
+    cross_zone_fraction: float
+    #: the cluster's fast-path counters (repro.net.fastpath.COUNTER_KEYS).
+    fastpath: dict[str, int]
+
+    def as_dict(self) -> dict:
+        return {
+            "elapsed": self.elapsed,
+            "events_processed": self.events_processed,
+            "links": self.links,
+            "bytes_by_class": self.bytes_by_class,
+            "mean_uplink_utilization": self.mean_uplink_utilization,
+            "max_uplink_utilization": self.max_uplink_utilization,
+            "control_messages": self.control_messages,
+            "tier_bytes": self.tier_bytes,
+            "tier_busy_time": self.tier_busy_time,
+            "cross_rack_fraction": self.cross_rack_fraction,
+            "cross_zone_fraction": self.cross_zone_fraction,
+            "fastpath": self.fastpath,
+        }
+
+
 def collect_flow_usage(cluster: Cluster) -> dict:
     """Per-link and aggregate flow statistics for a finished scenario.
 
-    Returns a dict with ``links`` (a :class:`LinkUsage` per NIC direction
-    and per shared fabric link), ``bytes_by_class`` (uplink-side aggregate,
-    so bytes are not counted twice), ``mean_uplink_utilization`` /
-    ``max_uplink_utilization``, the number of ``control_messages`` the
-    control plane sent, and the per-tier rollup: ``tier_bytes`` /
+    Returns :meth:`FlowUsage.as_dict` — a dict with ``links`` (a
+    :class:`LinkUsage` per NIC direction and per shared fabric link),
+    ``bytes_by_class`` (uplink-side aggregate, so bytes are not counted
+    twice), ``mean_uplink_utilization`` / ``max_uplink_utilization``, the
+    number of ``control_messages`` the control plane sent, the cluster's
+    ``fastpath`` counters, and the per-tier rollup: ``tier_bytes`` /
     ``tier_busy_time`` keyed by ``nic`` (NIC uplinks), ``rack_uplink`` (ToR
     uplinks) and ``inter_zone`` (zone uplinks) — each tier counted on its
     egress side only, so a byte is counted once per tier it crossed — plus
     the derived ``cross_rack_fraction`` / ``cross_zone_fraction`` of NIC
     bytes that also crossed that tier.  On the flat topology the fabric
     tiers are identically zero.  Utilization is measured over the whole
-    simulated run (``cluster.now``).
+    simulated run (``cluster.now``).  The schema is frozen as
+    :class:`FlowUsage`.
     """
     elapsed = cluster.now
     links: list[LinkUsage] = []
@@ -162,25 +216,26 @@ def collect_flow_usage(cluster: Cluster) -> dict:
             tier_bytes[tier] += sum(link.sched.bytes_by_class.values())
             tier_busy_time[tier] += link.sched.busy_time
 
-    return {
-        "elapsed": elapsed,
-        "events_processed": cluster.sim.events_processed,
-        "links": links,
-        "bytes_by_class": bytes_by_class,
-        "mean_uplink_utilization": (
+    return FlowUsage(
+        elapsed=elapsed,
+        events_processed=cluster.sim.events_processed,
+        links=links,
+        bytes_by_class=bytes_by_class,
+        mean_uplink_utilization=(
             sum(uplink_utils) / len(uplink_utils) if uplink_utils else 0.0
         ),
-        "max_uplink_utilization": max(uplink_utils, default=0.0),
-        "control_messages": control_messages,
-        "tier_bytes": tier_bytes,
-        "tier_busy_time": tier_busy_time,
-        "cross_rack_fraction": (
+        max_uplink_utilization=max(uplink_utils, default=0.0),
+        control_messages=control_messages,
+        tier_bytes=tier_bytes,
+        tier_busy_time=tier_busy_time,
+        cross_rack_fraction=(
             tier_bytes["rack_uplink"] / nic_bytes if nic_bytes else 0.0
         ),
-        "cross_zone_fraction": (
+        cross_zone_fraction=(
             tier_bytes["inter_zone"] / nic_bytes if nic_bytes else 0.0
         ),
-    }
+        fastpath=cluster.fastpath_stats.as_dict(),
+    ).as_dict()
 
 
 def rack_interleaved_delays(

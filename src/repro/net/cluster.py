@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from repro.net.config import ClusterSpec, NetworkConfig
+from repro.net.fastpath import FastpathStats
 from repro.net.node import Node
 from repro.net.topology import Fabric, Topology
 from repro.sim import Simulator
@@ -52,9 +53,27 @@ class Cluster:
         )
         self.sim = simulator or Simulator()
         self.fabric = Fabric(self.sim, self.topology, self.config)
+        #: fast-path counters, scoped to this cluster (see repro.net.fastpath).
+        self.fastpath_stats = FastpathStats()
+        #: observability plane, or None when disabled (the default: every
+        #: instrumentation site guards on ``cluster.obs is not None``).
+        self.obs = None
         self.nodes: list[Node] = [
             Node(self.sim, node_id, cluster=self) for node_id in range(num_nodes)
         ]
+
+    def enable_observability(self, window: float = 0.1, trace_transfers: bool = False):
+        """Install (and return) the observability plane for this cluster.
+
+        Purely observational: metrics record against simulated time without
+        scheduling events, so enabling it never changes simulated results
+        (locked down by the differential test in ``tests/test_fleet.py``).
+        """
+        from repro.obs import Observability
+
+        if self.obs is None:
+            Observability(self, window=window, trace_transfers=trace_transfers)
+        return self.obs
 
     # -- convenience --------------------------------------------------------
     def __len__(self) -> int:

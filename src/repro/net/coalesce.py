@@ -44,6 +44,7 @@ from bisect import bisect_right
 from typing import TYPE_CHECKING, Callable, Generator, Optional, Sequence
 
 from repro.net.errors import NodeFailedError
+from repro.net.fastpath import stats_for
 from repro.sim.core import Event, Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -175,6 +176,7 @@ class CoalescedRun:
         "_synthetic",
         "_listening",
         "preattached",
+        "_obs_span",
     )
 
     def __init__(
@@ -246,6 +248,7 @@ class CoalescedRun:
         self._accounted = 0  # blocks fully link-accounted so far
         self._synthetic = False
         self._listening = False
+        self._obs_span = None
         #: True when an owning domain attached holds/schedule synchronously
         #: at formation time (so ``run`` must not attach again).
         self.preattached = False
@@ -292,6 +295,7 @@ class CoalescedRun:
     def _materialize_self(self) -> None:
         if self.state != _VIRTUAL:
             return
+        stats_for(self.src).bump("resplits")
         now = self.sim._now
         i = bisect_right(self.s, now) - 1
         if i < 0:
@@ -342,6 +346,10 @@ class CoalescedRun:
             wake.succeed()
 
     def _attach(self) -> None:
+        stats_for(self.src).bump("coalesced_runs")
+        cluster = self.src.cluster
+        if cluster is not None and cluster.obs is not None:
+            cluster.obs.record_run_start(self)
         for resource, _sched in self.links:
             resource.add_virtual_hold(self)
         self.src.on_failure(self._on_peer_failure)
@@ -379,6 +387,11 @@ class CoalescedRun:
             self.schedule.close()
             self.schedule = None
         self._wake = None
+        if self._obs_span is not None:
+            self._obs_span.finish(
+                "resplit" if self.state == _MATERIALIZED else "ok"
+            )
+            self._obs_span = None
 
     def _release_synthetic(self) -> None:
         self._synthetic = False

@@ -61,6 +61,7 @@ from repro.net.coalesce import (
     _VIRTUAL,
     ready_time_of,
 )
+from repro.net.fastpath import stats_for
 from repro.net.flowsched import (
     PHASE_ADMIT,
     PHASE_GATE,
@@ -98,19 +99,11 @@ TX = PHASE_TX  #: holding its links until ``tx_end``
 LAT = PHASE_LAT  #: links released, block arrives at ``arr_at``
 RUN = PHASE_RUN  #: driving a coalesced/convoy run
 
-#: observability counters, surfaced by ``benchmarks/bench_perf.py``.
-STATS = {
-    "domains_formed": 0,
-    "members_enrolled": 0,
-    "blocks_planned": 0,
-    "materializations": 0,
-    "refusals": 0,
-}
-
-
-def reset_stats() -> None:
-    for key in STATS:
-        STATS[key] = 0
+# Observability counters live per cluster (``cluster.fastpath_stats``,
+# :class:`repro.net.fastpath.FastpathStats`) — surfaced by
+# ``benchmarks/bench_perf.py`` and the observability plane.  They used to
+# be a module-global dict here, which leaked across scenarios in one
+# process; :func:`repro.net.fastpath.stats_for` is the only access path.
 
 
 #: quiet gate: the bottleneck's stream set must be unchanged for this many
@@ -473,6 +466,9 @@ class ConvoyDomain:
         ``blocks_ready`` / ``wait_for_blocks`` during the lead window see
         exact values; the run itself still owns only the planned blocks.
         """
+        cluster = run.src.cluster
+        if cluster is not None and cluster.obs is not None:
+            cluster.obs.record_run_start(run)
         for resource, _sched in run.links:
             resource.add_virtual_hold(run)
         run.src.on_failure(run._on_peer_failure)
@@ -513,7 +509,8 @@ class ConvoyDomain:
         if self.dead:
             return
         self.dead = True
-        STATS["materializations"] += 1
+        if self.runs:
+            stats_for(self.runs[0].src).bump("materializations")
         now = self.sim._now
         runs = self.runs
         for run in runs:
@@ -604,16 +601,16 @@ def maybe_form(handle: StreamHandle, block_index: int) -> Optional[ConvoyRun]:
 
     plan = _build_members(handle, handles, bottleneck, now)
     if plan is None:
-        STATS["refusals"] += 1
+        stats_for(handle.src).bump("refusals")
         bottleneck._cooldown = now + cooldown
         return None
     members, total_blocks = plan
     if total_blocks < _MIN_PLANNED:
-        STATS["refusals"] += 1
+        stats_for(handle.src).bump("refusals")
         bottleneck._cooldown = now + cooldown
         return None
     if not _plan(now, members):
-        STATS["refusals"] += 1
+        stats_for(handle.src).bump("refusals")
         bottleneck._cooldown = now + cooldown
         return None
 
@@ -686,9 +683,10 @@ def maybe_form(handle: StreamHandle, block_index: int) -> Optional[ConvoyRun]:
             h.poked = True
             if h.gate_event is not None and not h.gate_event.triggered:
                 h.gate_event.succeed(None)
-    STATS["domains_formed"] += 1
-    STATS["members_enrolled"] += len(actives)
-    STATS["blocks_planned"] += total_blocks
+    stats = stats_for(handle.src)
+    stats.bump("domains_formed")
+    stats.bump("members_enrolled", len(actives))
+    stats.bump("blocks_planned", total_blocks)
     return initiator_run
 
 

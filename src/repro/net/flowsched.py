@@ -138,6 +138,11 @@ class LinkScheduler:
         #: control-plane messages (RPCs) sent from this direction; control
         #: traffic rides the latency path and never occupies a bulk slot.
         self.control_messages: int = 0
+        #: observability children, installed by repro.obs.Observability
+        #: (None = disabled: one branch per account/record_control call).
+        self._obs_bytes: Optional[dict] = None
+        self._obs_queue = None
+        self._obs_control = None
 
     @property
     def queue_length(self) -> int:
@@ -156,10 +161,14 @@ class LinkScheduler:
         self.bytes_by_class[flow.flow_class] += nbytes
         self.busy_time += hold_time
         self.reservations_granted += 1
+        if self._obs_bytes is not None:
+            self._obs_bytes[flow.flow_class].inc(nbytes)
 
     def record_control(self) -> None:
         """Count one control-plane message leaving through this direction."""
         self.control_messages += 1
+        if self._obs_control is not None:
+            self._obs_control.inc()
 
     def lockstep_candidates(self) -> Optional[list]:
         """Stream handles of a potential lockstep convoy on this link.
@@ -204,6 +213,8 @@ class Reservation:
         self.nbytes = int(nbytes)
         self.flow = flow
         self.sim: Simulator = src.sim
+        #: submission time, for grant-wait (admission latency) observability.
+        self.created_at = self.sim._now
         fabric = src.cluster.fabric if src.cluster is not None else None
         #: shared tier links on the path (empty for flat/intra-rack traffic).
         self.path = (
@@ -238,6 +249,9 @@ class Reservation:
             self.dst.downlink_sched.account(self.flow, self.nbytes, hold)
             for link in self.path:
                 link.sched.account(self.flow, self.nbytes, hold)
+            cluster = self.src.cluster
+            if cluster is not None and cluster.obs is not None:
+                cluster.obs.record_reservation(self)
         self.request.release()
 
     def cancel(self) -> None:

@@ -1,0 +1,203 @@
+"""Span-based tracing of collectives on the simulated clock.
+
+A :class:`Tracer` records :class:`Span` trees: one **root span** per
+collective invocation (its ``trace_id`` *is* the ``spec_id``, so lineage
+and traces share a key space), one **driver-task span** per task *attempt*
+(re-executions after a failure are additional spans in the same trace — a
+fault-and-recover shows up as one trace with a failed attempt and its
+replacement), and — when ``trace_transfers`` is enabled — **transfer
+spans** per coalesced run or per-block transfer, parented through the
+object an orchestrated share produced or consumed.
+
+The linking chain is the orchestrator's own lineage:
+
+* the root span registers under the spec_id
+  (:meth:`Tracer.root_for_spec`), and binds every ObjectID the spec
+  mentions (:meth:`Tracer.bind_object`);
+* a driver task's ``key`` is ``"{spec_id}#{role}/{rank}"`` — the task
+  system recovers the spec_id by splitting on ``"#"`` and parents each
+  attempt span on the registered root (:meth:`Tracer.lineage_parent`);
+* a transfer's flow id embeds the ObjectID it moves
+  (``"get:{object_id}->n{dst}"``), so transfer spans look the owning span
+  up through the object binding (:meth:`Tracer.span_for_flow`).
+
+Like the metrics registry, tracing is purely observational: spans are
+plain records stamped with simulated time, never simulation events.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.core import Simulator
+
+
+class Span:
+    """One timed operation in a trace, stamped with simulated time."""
+
+    __slots__ = (
+        "tracer",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "start",
+        "end",
+        "status",
+        "attrs",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        trace_id: str,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        start: float,
+        attrs: dict,
+    ):
+        self.tracer = tracer
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        self.status = "open"
+        self.attrs = attrs
+
+    @property
+    def duration(self) -> Optional[float]:
+        return None if self.end is None else self.end - self.start
+
+    def finish(self, status: str = "ok") -> None:
+        if self.end is None:
+            self.end = self.tracer.sim._now
+            self.status = status
+
+    def as_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "status": self.status,
+            "attrs": dict(self.attrs),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r} trace={self.trace_id!r} id={self.span_id}"
+            f" parent={self.parent_id} [{self.start}..{self.end}] {self.status})"
+        )
+
+
+class Tracer:
+    """Records spans; groups them into traces; links through lineage."""
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.spans: list[Span] = []
+        self._next_id = count(1)
+        #: spec_id -> its root span (the lineage anchor of the trace).
+        self._roots: dict[str, Span] = {}
+        #: str(object_id) -> owning span, for transfer-span parenting.
+        self._objects: dict[str, Span] = {}
+
+    # -- recording ---------------------------------------------------------
+    def start_span(
+        self,
+        name: str,
+        trace_id: Optional[str] = None,
+        parent: Optional[Span] = None,
+        **attrs,
+    ) -> Span:
+        if parent is not None and trace_id is None:
+            trace_id = parent.trace_id
+        span = Span(
+            self,
+            trace_id if trace_id is not None else f"trace-{name}",
+            next(self._next_id),
+            parent.span_id if parent is not None else None,
+            name,
+            self.sim._now,
+            attrs,
+        )
+        self.spans.append(span)
+        return span
+
+    def root_for_spec(self, spec_id: str, kind: str = "", **attrs) -> Span:
+        """The root span of ``spec_id``'s trace (one per spec, reused).
+
+        Re-invoking a spec (a deliberate new incarnation) extends the same
+        trace: recovery is part of the collective's story, not a new one.
+        """
+        root = self._roots.get(spec_id)
+        if root is None:
+            root = self.start_span(
+                f"collective:{kind or 'unknown'}", trace_id=spec_id, **attrs
+            )
+            self._roots[spec_id] = root
+        return root
+
+    def lineage_parent(self, key: str) -> Optional[Span]:
+        """The root span a task key (``"{spec_id}#role/rank"``) descends from."""
+        spec_id, sep, _ = key.partition("#")
+        if not sep:
+            return None
+        return self._roots.get(spec_id)
+
+    def bind_object(self, object_id, span: Span) -> None:
+        """Attribute future transfers of ``object_id`` to ``span``'s trace."""
+        self._objects[str(object_id)] = span
+
+    def span_for_flow(self, flow_id: str) -> Optional[Span]:
+        """The bound span a flow id's embedded object id points at.
+
+        Flow ids follow ``"{verb}:{object_id}->n{node}"`` (with variants);
+        unbound or unparseable flows trace as their own roots.
+        """
+        _, sep, rest = flow_id.partition(":")
+        if not sep:
+            return self._objects.get(flow_id)
+        oid, arrow, _ = rest.partition("->")
+        return self._objects.get(oid if arrow else rest)
+
+    # -- reading -----------------------------------------------------------
+    def traces(self) -> dict[str, list[Span]]:
+        """Spans grouped by trace id, each group in start order."""
+        grouped: dict[str, list[Span]] = {}
+        for span in self.spans:
+            grouped.setdefault(span.trace_id, []).append(span)
+        return grouped
+
+    def trace(self, trace_id: str) -> list[Span]:
+        return [span for span in self.spans if span.trace_id == trace_id]
+
+    def format_trace(self, trace_id: str) -> str:
+        """An indented, human-readable rendering of one trace."""
+        spans = self.trace(trace_id)
+        by_parent: dict[Optional[int], list[Span]] = {}
+        known = {span.span_id for span in spans}
+        for span in spans:
+            parent = span.parent_id if span.parent_id in known else None
+            by_parent.setdefault(parent, []).append(span)
+        lines: list[str] = []
+
+        def _walk(parent: Optional[int], depth: int) -> None:
+            for span in by_parent.get(parent, ()):
+                end = "…" if span.end is None else f"{span.end:.6f}"
+                lines.append(
+                    f"{'  ' * depth}{span.name} [{span.start:.6f}..{end}]"
+                    f" {span.status}"
+                    + (f" {span.attrs}" if span.attrs else "")
+                )
+                _walk(span.span_id, depth + 1)
+
+        _walk(None, 0)
+        return "\n".join(lines)

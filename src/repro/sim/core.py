@@ -343,7 +343,14 @@ class Simulator:
         assert proc.value == "done"
     """
 
-    __slots__ = ("_now", "_queue", "_sequence", "events_processed", "unhandled_failures")
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_sequence",
+        "events_processed",
+        "unhandled_failures",
+        "on_step",
+    )
 
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
@@ -354,6 +361,13 @@ class Simulator:
         self.events_processed = 0
         #: Failed events whose exception was never consumed by a waiter.
         self.unhandled_failures: list[Event] = []
+        #: Optional per-event observability hook, called as ``on_step(when)``
+        #: after the clock advances and before callbacks run.  ``None`` (the
+        #: default) costs one branch per event; installed by
+        #: :class:`repro.obs.Observability` for event-loop counters.  The
+        #: hook must be purely observational — it runs inside the kernel's
+        #: dispatch frame.
+        self.on_step: Optional[Callable[[float], None]] = None
 
     # -- time -------------------------------------------------------------
     @property
@@ -423,6 +437,8 @@ class Simulator:
         when, _priority, _seq, event = heapq.heappop(self._queue)
         self._now = when
         self.events_processed += 1
+        if self.on_step is not None:
+            self.on_step(when)
         callbacks = event.callbacks
         event.callbacks = _PROCESSED
         if callbacks is not None:

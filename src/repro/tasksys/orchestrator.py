@@ -345,6 +345,25 @@ class CollectiveOrchestrator:
         task set can survive.
         """
         self.metrics["invocations"] += 1
+        obs = self.cluster.obs
+        root_span = None
+        if obs is not None:
+            # The root span anchors the whole trace under the spec_id, and
+            # binds every object the spec mentions so transfer spans (and
+            # re-executed shares after a fault) land in the same trace.
+            root_span = obs.tracer.root_for_spec(
+                spec.spec_id,
+                spec.kind,
+                participants=len(spec.participants),
+                incarnation=spec.incarnation,
+            )
+            for oid in spec.all_source_ids():
+                obs.tracer.bind_object(oid, root_span)
+            for oid in spec.targets.values():
+                obs.tracer.bind_object(oid, root_span)
+            for ids in spec.recvs.values():
+                for oid in ids:
+                    obs.tracer.bind_object(oid, root_span)
         refs = self.submit(spec)
         yield from self.system.wait(list(refs.values()), num_returns=len(refs))
         results: Dict[int, ObjectValue] = {}
@@ -352,6 +371,8 @@ class CollectiveOrchestrator:
             if role in ("root", "share"):
                 value = yield from self.fetch(ref)
                 results[rank] = value
+        if root_span is not None:
+            root_span.finish("ok")
         return CollectiveOutcome(
             spec=spec,
             results=results,

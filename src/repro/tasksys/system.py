@@ -307,6 +307,24 @@ class TaskSystem:
     # -- execution --------------------------------------------------------------------
     def _execute(self, record: TaskRecord, node: Node) -> Generator:
         spec = record.spec
+        obs = self.cluster.obs
+        span = None
+        if obs is not None:
+            # One span per *attempt*: a re-execution after a failure is a
+            # sibling span in the same trace (found through the lineage key
+            # ``"{spec_id}#role/rank"``), so fault-and-recover reads as one
+            # trace with a failed attempt and its replacement.
+            span = obs.tracer.start_span(
+                f"task:{spec.describe()}",
+                parent=(
+                    obs.tracer.lineage_parent(spec.key)
+                    if spec.key is not None
+                    else None
+                ),
+                attempt=record.attempts,
+                node=node.node_id,
+            )
+            obs.tracer.bind_object(spec.output_id, span)
         slot = self.worker_slots[node.node_id].request()
         try:
             if not node.alive and spec.placement == "strict":
@@ -362,6 +380,13 @@ class TaskSystem:
             self._handle_task_failure(record, exc)
         finally:
             self.worker_slots[node.node_id].release(slot)
+            if span is not None:
+                if record.status is TaskStatus.FINISHED:
+                    span.finish("ok")
+                elif record.status is TaskStatus.PENDING:
+                    span.finish("retrying")
+                else:
+                    span.finish("failed")
 
     def _handle_task_failure(self, record: TaskRecord, exc: BaseException) -> None:
         if record.status is TaskStatus.FAILED:

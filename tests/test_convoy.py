@@ -296,13 +296,12 @@ def test_convoy_forms_on_saturated_tier_link():
             formed.append(run.domain.bottleneck)
         return run
 
-    convoy.reset_stats()
     convoy.maybe_form = spy
     try:
         cluster, on_digest = _cross_rack_scenario(fast_paths=True)
     finally:
         convoy.maybe_form = orig_form
-    assert convoy.STATS["domains_formed"] >= 1
+    assert cluster.fastpath_stats["domains_formed"] >= 1
     tier_resources = {link.resource for link in cluster.fabric.tier_links()}
     assert any(b in tier_resources for b in formed), "no tier-link convoy formed"
     # And the fast path is exact: same completion instants as per-block.
