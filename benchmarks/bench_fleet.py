@@ -22,6 +22,12 @@ import pathlib
 #: where the metrics JSON artifact lands unless FLEET_METRICS_OUT overrides.
 DEFAULT_ARTIFACT = pathlib.Path(__file__).resolve().parent.parent / "fleet_metrics.json"
 
+#: where the critical-path blame artifact lands unless FLEET_CRITPATH_OUT
+#: overrides (uploaded next to the metrics artifact in CI).
+DEFAULT_CRITPATH_ARTIFACT = (
+    pathlib.Path(__file__).resolve().parent.parent / "fleet_critpath.json"
+)
+
 #: the export contract: family name -> label names, as rendered by the quick
 #: fleet.  A new metric or label is a deliberate schema change — update this
 #: set (and the ROADMAP taxonomy notes) in the same commit.
@@ -41,11 +47,18 @@ def _artifact_path() -> pathlib.Path:
     return pathlib.Path(os.environ.get("FLEET_METRICS_OUT", DEFAULT_ARTIFACT))
 
 
+def _critpath_artifact_path() -> pathlib.Path:
+    return pathlib.Path(
+        os.environ.get("FLEET_CRITPATH_OUT", DEFAULT_CRITPATH_ARTIFACT)
+    )
+
+
 def _run_and_report(quick: bool) -> dict:
     from repro.bench.fleet import run_fleet
+    from repro.obs.critpath import format_blame_table
     from repro.obs.export import format_slo_table, to_json
 
-    result = run_fleet(quick=quick)
+    result = run_fleet(quick=quick, trace_transfers=True)
     print()
     print(
         f"fleet: {len(result.specs)} jobs, {len(result.completions)} completed, "
@@ -57,6 +70,9 @@ def _run_and_report(quick: bool) -> dict:
         "congestion vs latency (windowed tier bytes ~ windowed mean op latency): "
         f"r = {result.congestion_latency_r:.3f}"
     )
+    print()
+    print("critical-path blame (why each cell spent its time):")
+    print(format_blame_table(result.blame_rows))
     artifact = {
         "quick": quick,
         "jobs": len(result.specs),
@@ -77,11 +93,21 @@ def _run_and_report(quick: bool) -> dict:
             }
             for row in result.slo_rows
         ],
+        "blame": [row.as_dict() for row in result.blame_rows],
         "metrics": to_json(result.obs.registry),
     }
     path = _artifact_path()
     path.write_text(json.dumps(artifact) + "\n")
     print(f"metrics artifact: {path}")
+    critpath_artifact = {
+        "quick": quick,
+        "table": format_blame_table(result.blame_rows),
+        "cells": [row.as_dict() for row in result.blame_rows],
+        "ops": [blame.as_dict() for blame in result.op_blames],
+    }
+    critpath_path = _critpath_artifact_path()
+    critpath_path.write_text(json.dumps(critpath_artifact) + "\n")
+    print(f"critical-path artifact: {critpath_path}")
     return artifact
 
 
@@ -104,6 +130,43 @@ def test_fleet_scenario(run_once, quick):
     # on the shared tiers are windows with slower collectives.
     assert artifact["congestion_latency_r"] is not None
     assert artifact["congestion_latency_r"] > 0.3
+    # The blame table covers the same 8 (tenant, op) cells the SLO table
+    # scores, and each cell's categories partition its critical-path time.
+    blame = artifact["blame"]
+    assert {(cell["tenant"], cell["op"]) for cell in blame} == {
+        (row["tenant"], row["op"]) for row in rows
+    }
+    for cell in blame:
+        assert cell["count"] > 0 and cell["total"] > 0.0
+        total_categories = sum(cell["categories"].values())
+        assert abs(total_categories - cell["total"]) <= 1e-9 * max(1.0, cell["total"])
+
+
+def test_fleet_blame_table_is_deterministic(run_once):
+    """Same seed -> byte-identical blame table, exact per-op partitions."""
+    from repro.bench.fleet import run_fleet
+    from repro.obs.critpath import format_blame_table
+    from repro.store.objects import reset_id_counter
+
+    def _table():
+        reset_id_counter()
+        result = run_fleet(
+            num_jobs=24, num_racks=2, nodes_per_rack=4, quick=True,
+            trace_transfers=True,
+        )
+        return format_blame_table(result.blame_rows), result
+
+    def _both():
+        first, _ = _table()
+        second, result = _table()
+        return first, second, result
+
+    first, second, result = run_once(_both)
+    assert first == second, "blame table is not deterministic"
+    assert len(result.blame_rows) == 8
+    for blame in result.op_blames:
+        total = sum(blame.categories.values())
+        assert abs(total - blame.length) <= 1e-9 * max(1.0, blame.length)
 
 
 def test_fleet_prometheus_export_is_golden(run_once):

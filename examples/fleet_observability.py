@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from repro.bench.fleet import run_fleet
 from repro.obs import format_slo_table, to_prometheus
+from repro.obs.critpath import format_blame_table
 
 MB = 1024 * 1024
 
@@ -38,6 +39,31 @@ def main() -> None:
         "\ncongestion vs latency: Pearson r = "
         f"{result.congestion_latency_r:.3f} between per-window shared-tier "
         "bytes and per-window mean op latency"
+    )
+
+    print("\n== critical-path blame (why each SLO cell spent its time) ==")
+    # The SLO table above says *which* cells are slow; the profiler walks
+    # each op's causal chain backward (grants, transmissions, propagation,
+    # reduce compute, failure detection, retries) and partitions its wall
+    # time into the seven blame categories — the columns below sum to 100%
+    # of each cell's critical-path seconds.
+    print(format_blame_table(result.blame_rows))
+    worst = max(
+        result.blame_rows, key=lambda row: row.total / row.count if row.count else 0.0
+    )
+    category, share = worst.top_category()
+    diagnosis = f"{share * 100.0:.0f}% {category}"
+    top_link = worst.top_link()
+    if top_link is not None and category in ("grant_wait", "tx"):
+        diagnosis += f", mostly on {top_link}"
+    print(
+        f"\n  walkthrough: the slowest cell per op is ({worst.tenant}, {worst.op})"
+        f" — {diagnosis}."
+    )
+    print(
+        "  grant_wait points at admission contention (add capacity or"
+        " reschedule), tx at serialization (bigger pipelining blocks),"
+        " straggler at untraced waits (peers arriving late)."
     )
 
     print("\n== hottest link directions ==")

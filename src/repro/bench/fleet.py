@@ -37,6 +37,7 @@ from repro.net.cluster import Cluster
 from repro.net.config import NetworkConfig
 from repro.net.flowsched import Flow, FlowClass
 from repro.net.topology import Topology
+from repro.obs.critpath import aggregate_blames, op_blames
 from repro.obs.export import SLOTarget, evaluate_slos
 from repro.store.objects import ObjectID, ObjectValue, ReduceOp
 
@@ -105,6 +106,10 @@ class FleetResult:
     #: Pearson r between windowed rack-uplink bytes and windowed mean op
     #: latency; ``None`` without a plane or with degenerate series.
     congestion_latency_r: Optional[float] = None
+    #: per-op critical-path attributions (with ``trace_transfers``).
+    op_blames: list = field(default_factory=list)
+    #: the (tenant, op) blame cells rendered next to the SLO table.
+    blame_rows: list = field(default_factory=list)
     obs: Optional[object] = None
     cluster: Optional[Cluster] = None
 
@@ -202,6 +207,7 @@ class _FleetRecorder:
 
     def __init__(self, obs):
         self.obs = obs
+        self.tracer = obs.tracer if obs is not None and obs.trace_transfers else None
         if obs is None:
             self.latency = None
             self.ops = None
@@ -215,7 +221,35 @@ class _FleetRecorder:
             "fleet_job_ops", "collectives issued per job", ("tenant", "job", "op")
         )
 
-    def record(self, spec: FleetJobSpec, op: str, nbytes: int, elapsed: float) -> None:
+    def begin_op(self, spec: FleetJobSpec, op: str):
+        """An ``op:*`` span opening one measured window (None when untraced).
+
+        The span carries the SLO cell identity (tenant, op) so the
+        critical-path profiler can aggregate blames into the same cells the
+        SLO evaluator scores.
+        """
+        if self.tracer is None:
+            return None
+        return self.tracer.start_span(
+            f"op:{op}",
+            trace_id=f"fleet-{spec.name}",
+            tenant=spec.tenant.name,
+            op=op,
+            job=spec.name,
+        )
+
+    def bind(self, span, *object_ids) -> None:
+        """Attribute future transfers of these objects to ``span``."""
+        if span is None:
+            return
+        for object_id in object_ids:
+            self.tracer.bind_object(object_id, span)
+
+    def record(
+        self, spec: FleetJobSpec, op: str, nbytes: int, elapsed: float, span=None
+    ) -> None:
+        if span is not None:
+            span.finish("ok")
         if self.latency is None:
             return
         tenant = spec.tenant.name
@@ -244,9 +278,11 @@ def _training_job(sim, runtime, spec, recorder) -> Generator:
     nodes = spec.nodes
     for r in range(spec.rounds):
         start = sim.now
+        span = recorder.begin_op(spec, "allreduce")
         grad_ids = [
             ObjectID.unique(f"fleet-{spec.name}-grad{r}-n{nid}") for nid in nodes
         ]
+        recorder.bind(span, *grad_ids)
         yield sim.all_of(
             [
                 sim.process(_put(runtime, nid, gid, spec.payload_bytes))
@@ -254,6 +290,7 @@ def _training_job(sim, runtime, spec, recorder) -> Generator:
             ]
         )
         target = ObjectID.unique(f"fleet-{spec.name}-update{r}")
+        recorder.bind(span, target)
         yield from runtime.client(nodes[0]).reduce(target, grad_ids, ReduceOp.SUM)
         yield sim.all_of(
             [
@@ -261,7 +298,7 @@ def _training_job(sim, runtime, spec, recorder) -> Generator:
                 for nid in nodes
             ]
         )
-        recorder.record(spec, "allreduce", spec.payload_bytes, sim.now - start)
+        recorder.record(spec, "allreduce", spec.payload_bytes, sim.now - start, span)
 
 
 def _serving_job(sim, runtime, spec, recorder) -> Generator:
@@ -270,17 +307,21 @@ def _serving_job(sim, runtime, spec, recorder) -> Generator:
     response_bytes = max(KB, spec.payload_bytes // 32)
     for r in range(spec.rounds):
         start = sim.now
+        span = recorder.begin_op(spec, "broadcast")
         model = ObjectID.unique(f"fleet-{spec.name}-model{r}")
+        recorder.bind(span, model)
         yield from _put(runtime, driver, model, spec.payload_bytes)
         yield sim.all_of(
             [sim.process(_tenant_get(runtime, spec, nid, model)) for nid in replicas]
         )
-        recorder.record(spec, "broadcast", spec.payload_bytes, sim.now - start)
+        recorder.record(spec, "broadcast", spec.payload_bytes, sim.now - start, span)
 
         start = sim.now
+        span = recorder.begin_op(spec, "gather")
         responses = [
             ObjectID.unique(f"fleet-{spec.name}-resp{r}-n{nid}") for nid in replicas
         ]
+        recorder.bind(span, *responses)
         yield sim.all_of(
             [
                 sim.process(_put(runtime, nid, rid, response_bytes))
@@ -290,7 +331,7 @@ def _serving_job(sim, runtime, spec, recorder) -> Generator:
         yield sim.all_of(
             [sim.process(_tenant_get(runtime, spec, driver, rid)) for rid in responses]
         )
-        recorder.record(spec, "gather", response_bytes, sim.now - start)
+        recorder.record(spec, "gather", response_bytes, sim.now - start, span)
 
 
 def _moe_job(sim, runtime, spec, recorder) -> Generator:
@@ -298,12 +339,14 @@ def _moe_job(sim, runtime, spec, recorder) -> Generator:
     nodes = spec.nodes
     for r in range(spec.rounds):
         start = sim.now
+        span = recorder.begin_op(spec, "alltoall")
         pair = {
             (src, dst): ObjectID.unique(f"fleet-{spec.name}-a2a{r}-{src}-{dst}")
             for src in nodes
             for dst in nodes
             if src != dst
         }
+        recorder.bind(span, *pair.values())
 
         def participant(node_id: int) -> Generator:
             sends = [
@@ -315,7 +358,7 @@ def _moe_job(sim, runtime, spec, recorder) -> Generator:
             yield from runtime.client(node_id).alltoall(sends, recv_ids)
 
         yield sim.all_of([sim.process(participant(nid)) for nid in nodes])
-        recorder.record(spec, "alltoall", spec.payload_bytes, sim.now - start)
+        recorder.record(spec, "alltoall", spec.payload_bytes, sim.now - start, span)
 
 
 def _rl_job(sim, runtime, spec, recorder) -> Generator:
@@ -324,17 +367,21 @@ def _rl_job(sim, runtime, spec, recorder) -> Generator:
     rollout_bytes = max(KB, spec.payload_bytes // 4)
     for r in range(spec.rounds):
         start = sim.now
+        span = recorder.begin_op(spec, "broadcast")
         policy = ObjectID.unique(f"fleet-{spec.name}-policy{r}")
+        recorder.bind(span, policy)
         yield from _put(runtime, driver, policy, spec.payload_bytes)
         yield sim.all_of(
             [sim.process(_tenant_get(runtime, spec, nid, policy)) for nid in workers]
         )
-        recorder.record(spec, "broadcast", spec.payload_bytes, sim.now - start)
+        recorder.record(spec, "broadcast", spec.payload_bytes, sim.now - start, span)
 
         start = sim.now
+        span = recorder.begin_op(spec, "gather")
         rollouts = [
             ObjectID.unique(f"fleet-{spec.name}-roll{r}-n{nid}") for nid in workers
         ]
+        recorder.bind(span, *rollouts)
         yield sim.all_of(
             [
                 sim.process(_put(runtime, nid, rid, rollout_bytes))
@@ -344,7 +391,7 @@ def _rl_job(sim, runtime, spec, recorder) -> Generator:
         yield sim.all_of(
             [sim.process(_tenant_get(runtime, spec, driver, rid)) for rid in rollouts]
         )
-        recorder.record(spec, "gather", rollout_bytes, sim.now - start)
+        recorder.record(spec, "gather", rollout_bytes, sim.now - start, span)
 
 
 _JOB_BODIES = {
@@ -483,4 +530,7 @@ def run_fleet(
         targets = slos if slos is not None else (QUICK_SLOS if quick else DEFAULT_SLOS)
         result.slo_rows = evaluate_slos(obs.registry, targets)
         result.congestion_latency_r = congestion_latency_correlation(obs.registry)
+        if trace_transfers:
+            result.op_blames = op_blames(obs)
+            result.blame_rows = aggregate_blames(result.op_blames)
     return result

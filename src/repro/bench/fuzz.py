@@ -13,13 +13,20 @@ topologies, arrival jitter and fault schedules, each executed twice
 
     PYTHONPATH=src python -m repro.bench.fuzz --seeds 200
 
-runs a deep sweep.  Any mismatch prints the spec needed to reproduce it.
+runs a deep sweep.  Any mismatch prints the spec needed to reproduce it —
+and, since the flight recorder landed, the harness re-runs a mismatching
+seed with recording enabled on both settings and bisects to the **first
+diverging semantic event** (time, kind, resource, detail) instead of
+leaving a bare pair of hashes.  ``--flight`` runs the whole band with
+recording on, checking both that digests still match (recording is
+observational) and that the on/off semantic records are identical.
 """
 
 from __future__ import annotations
 
 import argparse
 import random
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -188,21 +195,94 @@ def differential(seed: int) -> tuple[ScenarioSpec, str, str]:
     return spec, on, off
 
 
+@contextmanager
+def _flight_recorders():
+    """Install flight recorders on every cluster a scenario builds.
+
+    Scenario code constructs its clusters deep inside ``measure_*``, so the
+    harness reaches them through the module-level
+    :data:`repro.net.cluster.ON_CREATE` hook; the collected recorders stay
+    readable after the run.
+    """
+    import repro.net.cluster as cluster_mod
+
+    recorders: list = []
+    previous = cluster_mod.ON_CREATE
+
+    def _hook(cluster) -> None:
+        if previous is not None:
+            previous(cluster)
+        cluster.enable_flight_recorder()
+        recorders.append(cluster.flight)
+
+    cluster_mod.ON_CREATE = _hook
+    try:
+        yield recorders
+    finally:
+        cluster_mod.ON_CREATE = previous
+
+
+def run_spec_recorded(spec: ScenarioSpec, fast_paths: bool) -> tuple[str, list]:
+    """Like :func:`run_spec`, with flight recording on every cluster.
+
+    Returns ``(digest, records)`` where ``records`` is the concatenation of
+    every recorder's ring (one scenario can build several clusters).
+    """
+    with _flight_recorders() as recorders:
+        digest = run_spec(spec, fast_paths)
+    records = [record for recorder in recorders for record in recorder.records]
+    return digest, records
+
+
+def bisect_divergence(spec: ScenarioSpec):
+    """Re-run one scenario recorded on both settings; first diverging event.
+
+    Returns a :class:`repro.obs.flight.Divergence` (or ``None`` when the
+    semantic timelines are identical — a digest mismatch without one means
+    the divergence is outside the transfer timeline, e.g. ObjectID order).
+    """
+    from repro.obs.flight import first_divergence
+
+    _, on_records = run_spec_recorded(spec, fast_paths=True)
+    _, off_records = run_spec_recorded(spec, fast_paths=False)
+    return first_divergence(on_records, off_records)
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--seeds", type=int, default=len(TIER1_SEEDS), help="number of seeds")
     parser.add_argument("--start", type=int, default=0, help="first seed")
+    parser.add_argument(
+        "--flight",
+        action="store_true",
+        help="record every run; also compare the semantic transfer timelines",
+    )
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
 
+    from repro.obs.flight import first_divergence
+
     failures = 0
     for seed in range(args.start, args.start + args.seeds):
-        spec, on, off = differential(seed)
-        ok = on == off
+        spec = generate_spec(seed)
+        divergence = None
+        if args.flight:
+            on, on_records = run_spec_recorded(spec, fast_paths=True)
+            off, off_records = run_spec_recorded(spec, fast_paths=False)
+            divergence = first_divergence(on_records, off_records)
+            ok = on == off and divergence is None
+        else:
+            on = run_spec(spec, fast_paths=True)
+            off = run_spec(spec, fast_paths=False)
+            ok = on == off
+            if not ok:
+                divergence = bisect_divergence(spec)
         if not ok:
             failures += 1
         if args.verbose or not ok:
             print(f"{'OK  ' if ok else 'FAIL'} {spec.describe()}")
+        if not ok and divergence is not None:
+            print(divergence.describe())
     print(f"{args.seeds - failures}/{args.seeds} seeds identical")
     return 1 if failures else 0
 

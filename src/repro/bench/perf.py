@@ -203,6 +203,46 @@ def _basket() -> list[PerfScenario]:
     ]
 
 
+def _observed_critpath(scenario: PerfScenario) -> dict:
+    """One extra (untimed) run with tracing on; the blame-category summary.
+
+    Runs *after* the timed repeats so the observability overhead never
+    touches ``wall_s`` / ``events_per_s`` — the throughput gate keeps
+    measuring the bare simulator.  Clusters are reached through the
+    :data:`repro.net.cluster.ON_CREATE` hook because scenario code builds
+    them internally; a scenario that builds several (the MoE mix) sums
+    their windows.
+    """
+    import repro.net.cluster as cluster_mod
+    from repro.obs.critpath import CATEGORIES, cluster_blame
+
+    planes: list = []
+    previous = cluster_mod.ON_CREATE
+
+    def _hook(cluster) -> None:
+        if previous is not None:
+            previous(cluster)
+        planes.append(cluster.enable_observability(trace_transfers=True))
+
+    cluster_mod.ON_CREATE = _hook
+    try:
+        _reset_object_ids()
+        scenario.run()
+    finally:
+        cluster_mod.ON_CREATE = previous
+    total = 0.0
+    categories = {c: 0.0 for c in CATEGORIES}
+    for obs in planes:
+        blame = cluster_blame(obs, scenario.key)
+        total += blame.length
+        for category, value in blame.categories.items():
+            categories[category] += value
+    fractions = {
+        c: (round(categories[c] / total, 4) if total > 0 else 0.0) for c in CATEGORIES
+    }
+    return {"length": round(total, 6), "fractions": fractions}
+
+
 def run_basket(quick: bool = False, repeats: int = 2) -> list[dict]:
     """Run the (quick subset of the) basket; one result row per scenario."""
     rows = []
@@ -230,6 +270,10 @@ def run_basket(quick: bool = False, repeats: int = 2) -> list[dict]:
                 # off the scenario's own cluster: deterministic per run, so
                 # the last repeat's counters stand for all of them.
                 "convoy": fastpath,
+                # Critical-path category fractions over the traced window,
+                # from a separate observed run (deterministic; see
+                # _observed_critpath).
+                "critpath": _observed_critpath(scenario),
             }
         )
     return rows

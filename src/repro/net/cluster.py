@@ -2,13 +2,20 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional
 
 from repro.net.config import ClusterSpec, NetworkConfig
 from repro.net.fastpath import FastpathStats
 from repro.net.node import Node
 from repro.net.topology import Fabric, Topology
 from repro.sim import Simulator
+
+#: Optional module-level hook called with every fully constructed Cluster.
+#: Harnesses that need to observe clusters built deep inside scenario code
+#: (the differential fuzzer's flight recordings, the perf basket's
+#: critical-path pass) install it around a run; ``None`` (the default)
+#: costs one branch per cluster construction.
+ON_CREATE: Optional[Callable[["Cluster"], None]] = None
 
 
 class Cluster:
@@ -58,9 +65,14 @@ class Cluster:
         #: observability plane, or None when disabled (the default: every
         #: instrumentation site guards on ``cluster.obs is not None``).
         self.obs = None
+        #: flight recorder, or None when disabled (the default: every
+        #: instrumentation site guards on ``cluster.flight is not None``).
+        self.flight = None
         self.nodes: list[Node] = [
             Node(self.sim, node_id, cluster=self) for node_id in range(num_nodes)
         ]
+        if ON_CREATE is not None:
+            ON_CREATE(self)
 
     def enable_observability(self, window: float = 0.1, trace_transfers: bool = False):
         """Install (and return) the observability plane for this cluster.
@@ -74,6 +86,30 @@ class Cluster:
         if self.obs is None:
             Observability(self, window=window, trace_transfers=trace_transfers)
         return self.obs
+
+    def enable_flight_recorder(self, capacity: Optional[int] = None):
+        """Install (and return) the flight recorder for this cluster.
+
+        Purely observational, like the metrics plane: records are stamped
+        with simulated time but never schedule events, so recording changes
+        no simulated result (locked down by the ``--flight`` differential
+        fuzz band).
+        """
+        from repro.obs.flight import DEFAULT_CAPACITY, FlightRecorder
+
+        if self.flight is None:
+            recorder = FlightRecorder(
+                self.sim, capacity=capacity if capacity is not None else DEFAULT_CAPACITY
+            )
+            self.sim.on_pop = recorder.record_pop
+            self.flight = recorder
+        return self.flight
+
+    def disable_flight_recorder(self) -> None:
+        """Uninstall the recorder (its recorded ring stays readable)."""
+        if self.flight is not None:
+            self.sim.on_pop = None
+            self.flight = None
 
     # -- convenience --------------------------------------------------------
     def __len__(self) -> int:

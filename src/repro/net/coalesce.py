@@ -177,6 +177,9 @@ class CoalescedRun:
         "_listening",
         "preattached",
         "_obs_span",
+        "_flight",
+        "_flight_key",
+        "_flight_flow",
     )
 
     def __init__(
@@ -249,6 +252,9 @@ class CoalescedRun:
         self._synthetic = False
         self._listening = False
         self._obs_span = None
+        self._flight = None
+        self._flight_key = ""
+        self._flight_flow = ""
         #: True when an owning domain attached holds/schedule synchronously
         #: at formation time (so ``run`` must not attach again).
         self.preattached = False
@@ -296,6 +302,8 @@ class CoalescedRun:
         if self.state != _VIRTUAL:
             return
         stats_for(self.src).bump("resplits")
+        if self._flight is not None:
+            self._flight.phase(self._flight_key, "resplit")
         now = self.sim._now
         i = bisect_right(self.s, now) - 1
         if i < 0:
@@ -348,8 +356,21 @@ class CoalescedRun:
     def _attach(self) -> None:
         stats_for(self.src).bump("coalesced_runs")
         cluster = self.src.cluster
-        if cluster is not None and cluster.obs is not None:
-            cluster.obs.record_run_start(self)
+        if cluster is not None:
+            if cluster.obs is not None:
+                cluster.obs.record_run_start(self)
+            if cluster.flight is not None and self.src is not self.dst:
+                # Local copies (src is dst) move through the memcpy channel
+                # on the per-block path and record nothing there; mirroring
+                # that keeps on/off recordings semantically identical.
+                self._flight = cluster.flight
+                self._flight_key = f"n{self.src.node_id}>n{self.dst.node_id}"
+                self._flight_flow = (
+                    self.flow.flow_id if self.flow is not None else "untagged"
+                )
+                self._flight.phase(
+                    self._flight_key, f"coalesce_start/{type(self).__name__}/{self.n}"
+                )
         for resource, _sched in self.links:
             resource.add_virtual_hold(self)
         self.src.on_failure(self._on_peer_failure)
@@ -403,11 +424,16 @@ class CoalescedRun:
     def _account_full(self, count: int) -> None:
         """Link-account blocks ``[_accounted, count)`` at their full hold."""
         flow = self.flow
+        flight = self._flight
         for j in range(self._accounted, count):
             nbytes, hold = self.sizes[j], self.tx[j]
             for _resource, sched in self.links:
                 if sched is not None:
                     sched.account(flow, nbytes, hold)
+            if flight is not None:
+                detail = f"{self._flight_flow}/{nbytes}"
+                flight.record(self.s[j], "grant", self._flight_key, detail)
+                flight.record(self.e[j], "release", self._flight_key, detail)
         self._accounted = max(self._accounted, count)
 
     def _account_partial(self, j: int, hold: float) -> None:
@@ -415,6 +441,11 @@ class CoalescedRun:
         for _resource, sched in self.links:
             if sched is not None:
                 sched.account(self.flow, self.sizes[j], hold)
+        flight = self._flight
+        if flight is not None:
+            detail = f"{self._flight_flow}/{self.sizes[j]}"
+            flight.record(self.s[j], "grant", self._flight_key, detail)
+            flight.record(self.s[j] + hold, "release", self._flight_key, detail)
         self._accounted = max(self._accounted, j + 1)
 
     def _deliver(self, count: int) -> None:
@@ -428,6 +459,7 @@ class CoalescedRun:
             self.schedule = None
         account_out, account_in = self.account_out, self.account_in
         entry, base = self.entry, self.base
+        flight = self._flight
         for j in range(count):
             nbytes = self.sizes[j]
             if account_out is not None:
@@ -436,6 +468,13 @@ class CoalescedRun:
                 account_in(nbytes)
             if entry is not None:
                 entry.mark_block_ready(base + j)
+            if flight is not None:
+                flight.record(
+                    self.arr[j],
+                    "arrive",
+                    self._flight_key,
+                    f"{self._flight_flow}/{nbytes}",
+                )
 
     # -- the driver --------------------------------------------------------
     def run(self) -> Generator:
@@ -753,6 +792,9 @@ class ComputeRun:
 
     def run(self) -> Generator:
         sim = self.sim
+        cluster = self.node.cluster
+        obs = cluster.obs if cluster is not None else None
+        span = obs.record_compute_run(self) if obs is not None else None
         self.schedule = InflightSchedule(self.entry, self.base, self.t, self)
         self.entry._begin_inflight(self.schedule)
         for input_schedule in self.input_schedules:
@@ -784,6 +826,8 @@ class ComputeRun:
             if self.schedule is not None:  # pragma: no cover - defensive
                 self.schedule.close()
                 self.schedule = None
+            if span is not None:
+                span.finish("ok" if self.mark_limit >= self.n else "resplit")
 
 
 def input_coverage(entry: "StoredObject", upto: int) -> int:

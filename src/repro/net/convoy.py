@@ -467,8 +467,15 @@ class ConvoyDomain:
         exact values; the run itself still owns only the planned blocks.
         """
         cluster = run.src.cluster
-        if cluster is not None and cluster.obs is not None:
-            cluster.obs.record_run_start(run)
+        if cluster is not None:
+            if cluster.obs is not None:
+                cluster.obs.record_run_start(run)
+            if cluster.flight is not None and run.src is not run.dst:
+                run._flight = cluster.flight
+                run._flight_key = f"n{run.src.node_id}>n{run.dst.node_id}"
+                run._flight_flow = (
+                    run.flow.flow_id if run.flow is not None else "untagged"
+                )
         for resource, _sched in run.links:
             resource.add_virtual_hold(run)
         run.src.on_failure(run._on_peer_failure)
@@ -510,7 +517,14 @@ class ConvoyDomain:
             return
         self.dead = True
         if self.runs:
-            stats_for(self.runs[0].src).bump("materializations")
+            lead = self.runs[0]
+            stats_for(lead.src).bump("materializations")
+            cluster = lead.src.cluster
+            if cluster is not None and cluster.flight is not None:
+                cluster.flight.phase(
+                    f"n{lead.src.node_id}>n{lead.dst.node_id}",
+                    f"convoy_materialize/{len(self.runs)}",
+                )
         now = self.sim._now
         runs = self.runs
         for run in runs:
@@ -687,6 +701,12 @@ def maybe_form(handle: StreamHandle, block_index: int) -> Optional[ConvoyRun]:
     stats.bump("domains_formed")
     stats.bump("members_enrolled", len(actives))
     stats.bump("blocks_planned", total_blocks)
+    cluster = handle.src.cluster
+    if cluster is not None and cluster.flight is not None:
+        cluster.flight.phase(
+            f"n{handle.src.node_id}>n{handle.dst.node_id}",
+            f"convoy_form/{len(actives)}/{total_blocks}",
+        )
     return initiator_run
 
 

@@ -250,8 +250,18 @@ class Reservation:
             for link in self.path:
                 link.sched.account(self.flow, self.nbytes, hold)
             cluster = self.src.cluster
-            if cluster is not None and cluster.obs is not None:
-                cluster.obs.record_reservation(self)
+            if cluster is not None:
+                if cluster.obs is not None:
+                    cluster.obs.record_reservation(self)
+                flight = cluster.flight
+                if flight is not None:
+                    # The semantic transfer timeline: the coalescing fast
+                    # paths retrofit the same records from their boundary
+                    # arrays, so on/off recordings compare equal.
+                    key = f"n{self.src.node_id}>n{self.dst.node_id}"
+                    detail = f"{self.flow.flow_id}/{self.nbytes}"
+                    flight.record(self.request.granted_at, "grant", key, detail)
+                    flight.record(self.sim.now, "release", key, detail)
         self.request.release()
 
     def cancel(self) -> None:
@@ -354,6 +364,14 @@ class FlowTransport:
             handle.arr_at = sim._now + lat
         yield sim.timeout(lat)
         _check_alive(dst)
+        cluster = src.cluster
+        if cluster is not None and cluster.flight is not None:
+            cluster.flight.record(
+                sim._now,
+                "arrive",
+                f"n{src.node_id}>n{dst.node_id}",
+                f"{reservation.flow.flow_id}/{nbytes}",
+            )
         return sim.now
 
     def transfer_bytes(

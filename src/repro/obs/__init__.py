@@ -36,7 +36,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.net.fastpath import COUNTER_KEYS
-from repro.net.flowsched import FlowClass
+from repro.net.flowsched import FlowClass, path_latency
 from repro.obs.export import (
     SLORow,
     SLOTarget,
@@ -84,6 +84,10 @@ class Observability:
         #: when True, every reservation and coalesced/convoy run records a
         #: child span (linked to its collective through the moved object).
         self.trace_transfers = trace_transfers
+        #: ``(time, node_id, "down"|"up")`` membership transitions, in
+        #: order — the critical-path profiler turns these into detection
+        #: windows (``config.failure_detection_delay`` after each "down").
+        self.node_events: list[tuple[float, int, str]] = []
 
         # -- pre-built children for the hot instrumentation sites ----------
         self._events = self.registry.counter(
@@ -142,6 +146,9 @@ class Observability:
                 queue_family,
                 control_family,
             )
+        for node in cluster.nodes:
+            node.on_failure(self._on_node_down)
+            node.on_recovery(self._on_node_up)
         cluster.fastpath_stats.on_event = self._on_fastpath
         sim.on_step = self._on_step
         cluster.obs = self
@@ -169,6 +176,12 @@ class Observability:
             link.sched._obs_bytes = None
             link.sched._obs_queue = None
             link.sched._obs_control = None
+        for node in cluster.nodes:
+            node.remove_failure_listener(self._on_node_down)
+            try:
+                node.recovery_listeners.remove(self._on_node_up)
+            except ValueError:
+                pass
         cluster.obs = None
 
     # -- hook bodies (called from the instrumented subsystems) -------------
@@ -177,6 +190,12 @@ class Observability:
 
     def _on_fastpath(self, key: str, n: int) -> None:
         self._fastpath[key].inc(n)
+
+    def _on_node_down(self, node) -> None:
+        self.node_events.append((self.cluster.sim._now, node.node_id, "down"))
+
+    def _on_node_up(self, node) -> None:
+        self.node_events.append((self.cluster.sim._now, node.node_id, "up"))
 
     def record_reservation(self, reservation) -> None:
         """Called by ``Reservation.release`` for every granted claim."""
@@ -193,20 +212,35 @@ class Observability:
                 gauge.set(sched.queue_length)
         if self.trace_transfers:
             flow = reservation.flow
+            src, dst = reservation.src, reservation.dst
             span = self.tracer.start_span(
                 "block",
                 parent=self.tracer.span_for_flow(flow.flow_id),
                 flow=flow.flow_id,
                 cls=flow.flow_class.name.lower(),
-                src=reservation.src.node_id,
-                dst=reservation.dst.node_id,
+                src=src.node_id,
+                dst=dst.node_id,
                 bytes=reservation.nbytes,
                 grant_wait=request.granted_at - reservation.created_at,
+                lat=path_latency(self.cluster.config, src, dst),
+                links=self._span_links(src, dst),
             )
             # The span covers the reservation's whole life, submission to
             # release; recorded retroactively so the hot path stays one call.
             span.start = reservation.created_at
             span.finish("ok")
+
+    def _span_links(self, src, dst) -> tuple:
+        """The link names a src->dst block claims, for blame attribution."""
+        if src is dst:
+            return ()
+        return (
+            f"n{src.node_id}/up",
+            f"n{dst.node_id}/down",
+        ) + tuple(
+            link.name
+            for link in self.cluster.fabric.path_links(src.node_id, dst.node_id)
+        )
 
     def record_run_start(self, run) -> None:
         """Called when a coalesced/convoy run attaches to its links."""
@@ -221,4 +255,31 @@ class Observability:
             src=run.src.node_id,
             dst=run.dst.node_id,
             blocks=run.n,
+            s0=run.s[0],
+            arr_end=run.arr[-1],
+            tx_sum=sum(run.tx),
+            bytes=sum(run.sizes),
+            lat=run.latency,
+            links=self._span_links(run.src, run.dst),
+        )
+
+    def record_compute_run(self, run):
+        """Called when a streaming compute (reduce-slot) run starts.
+
+        Returns the span (the run finishes it) or None when transfer
+        tracing is off.
+        """
+        if not self.trace_transfers:
+            return None
+        entry = run.entry
+        oid = str(entry.object_id) if entry is not None else ""
+        return self.tracer.start_span(
+            "compute_run",
+            parent=self.tracer.span_for_object(oid) if oid else None,
+            object=oid,
+            node=run.node.node_id,
+            blocks=run.n,
+            s0=run.s[0],
+            end=run.end_at,
+            busy=tuple(zip(run.s, run.t)),
         )

@@ -45,6 +45,11 @@ def _escape(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
+def _escape_help(text: str) -> str:
+    """HELP-line escaping: backslash and newline only (quotes stay)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _label_str(names: tuple, values: tuple, extra: Optional[tuple] = None) -> str:
     pairs = [f'{n}="{_escape(str(v))}"' for n, v in zip(names, values)]
     if extra is not None:
@@ -57,14 +62,19 @@ def to_prometheus(registry: MetricsRegistry) -> str:
     lines: list[str] = []
     for family in registry.sorted_families():
         name = family.name
+        if not family.children:
+            # A declared family no child ever materialized (e.g. a labeled
+            # histogram nothing observed into): bare HELP/TYPE headers with
+            # no samples confuse scrapers, so emit nothing.
+            continue
         if family.kind == COUNTER:
-            lines.append(f"# HELP {name}_total {family.help}")
+            lines.append(f"# HELP {name}_total {_escape_help(family.help)}")
             lines.append(f"# TYPE {name}_total counter")
             for child in family.sorted_children():
                 labels = _label_str(family.label_names, child.label_values)
                 lines.append(f"{name}_total{labels} {_fmt(child.value)}")
         elif family.kind == GAUGE:
-            lines.append(f"# HELP {name} {family.help}")
+            lines.append(f"# HELP {name} {_escape_help(family.help)}")
             lines.append(f"# TYPE {name} gauge")
             for child in family.sorted_children():
                 labels = _label_str(family.label_names, child.label_values)
@@ -72,7 +82,7 @@ def to_prometheus(registry: MetricsRegistry) -> str:
         elif family.kind == HISTOGRAM:
             # Exact quantiles: exported in the summary shape, because the
             # registry computes true nearest-rank values, not bucket bounds.
-            lines.append(f"# HELP {name} {family.help}")
+            lines.append(f"# HELP {name} {_escape_help(family.help)}")
             lines.append(f"# TYPE {name} summary")
             for child in family.sorted_children():
                 values = child._values_sorted()

@@ -1,0 +1,168 @@
+"""Deterministic flight recorder + divergence bisection for the kernel.
+
+PR 6 root-caused a bit-for-bit fast-path divergence with throwaway event-pop
+tracing; this module makes that capability a subsystem.  A
+:class:`FlightRecorder` is a bounded ring of ``(time, kind, resource,
+detail)`` tuples stamped with the **simulated** clock:
+
+``pop``
+    every kernel event pop (absolute time, queue sequence number, event
+    type) — the raw dispatch order, installed through ``Simulator.on_pop``;
+``grant`` / ``release`` / ``arrive``
+    the *semantic* transfer timeline of every block that crosses a NIC:
+    admission grant, link release, destination arrival.  The coalescing
+    fast paths retrofit these records from their boundary arrays at exactly
+    the timestamps the per-block chain would have produced them, so a
+    recording of a fast-path run and a recording of the per-block reference
+    are **semantically identical** — the property the differential fuzz
+    harness checks, and the property divergence bisection exploits;
+``phase``
+    fast-path state transitions (coalesce start, re-split, convoy
+    formation/materialization) and orchestrator lifecycle marks.  Pure
+    diagnostics: excluded from semantic comparison, since the fast paths
+    legitimately restructure the event timeline they summarize.
+
+Recording is zero-overhead when off: every instrumentation site pays one
+``is not None`` branch (``cluster.flight``, ``sim.on_pop``), the same
+discipline as the metrics plane, and the differential digests prove that
+recording changes no simulated result.
+
+:func:`first_divergence` turns two recordings (fast paths on / off) of the
+same scenario into the first diverging semantic event — time, kind,
+resource, detail — which is what ``python -m repro.bench.fuzz`` now reports
+on a digest mismatch instead of a bare pair of hashes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.core import Event, Simulator
+
+#: record kinds compared across fast-path settings.  ``pop`` and ``phase``
+#: are excluded: the fast paths collapse pops by design, and phase marks
+#: only exist on the fast side.
+SEMANTIC_KINDS = frozenset({"grant", "release", "arrive"})
+
+#: default ring capacity; at four fields a record, a full ring is ~100 MB
+#: of tuples — far above any fuzz scenario, so comparisons never truncate.
+DEFAULT_CAPACITY = 1_000_000
+
+
+class FlightRecorder:
+    """A bounded in-memory ring of simulated-time kernel/transfer records.
+
+    Installed per cluster via ``cluster.enable_flight_recorder()``; the
+    instrumentation sites find it through ``cluster.flight`` (one branch
+    when absent).  Records are plain tuples, appended in call order; the
+    *semantic* ordering (what :func:`semantic_records` compares) sorts by
+    timestamp, because the fast paths retrofit past-timestamped records at
+    their boundary walks.
+    """
+
+    __slots__ = ("sim", "capacity", "records", "dropped")
+
+    def __init__(self, sim: "Simulator", capacity: int = DEFAULT_CAPACITY):
+        if capacity <= 0:
+            raise ValueError("flight recorder capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.records: deque = deque(maxlen=capacity)
+        #: records evicted by the ring bound (oldest-first); a non-zero
+        #: count means dumps and comparisons see a truncated history.
+        self.dropped = 0
+
+    def record(self, time: float, kind: str, resource: str, detail: str) -> None:
+        records = self.records
+        if len(records) == self.capacity:
+            self.dropped += 1
+        records.append((time, kind, resource, detail))
+
+    def record_pop(self, when: float, seq: int, event: "Event") -> None:
+        """The kernel's per-pop hook (installed as ``Simulator.on_pop``)."""
+        self.record(when, "pop", f"seq={seq}", type(event).__name__)
+
+    def phase(self, resource: str, detail: str) -> None:
+        """A fast-path (or lifecycle) state transition at the current time."""
+        self.record(self.sim._now, "phase", resource, detail)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def dump(self, limit: Optional[int] = None) -> str:
+        """Deterministic text rendering, in record (call) order.
+
+        ``repr`` float timestamps round-trip exactly, so two dumps of the
+        same simulated history are byte-identical.
+        """
+        records = list(self.records)
+        if limit is not None:
+            records = records[-limit:]
+        lines = [
+            f"{time!r} {kind} {resource} {detail}"
+            for time, kind, resource, detail in records
+        ]
+        if self.dropped:
+            lines.insert(0, f"# dropped={self.dropped} (ring capacity {self.capacity})")
+        return "\n".join(lines)
+
+
+def semantic_records(records) -> list[tuple]:
+    """The comparable transfer timeline of one recording.
+
+    Filters to :data:`SEMANTIC_KINDS` and sorts by ``(time, kind, resource,
+    detail)``: the fast paths append past-timestamped records at boundary
+    walks, so call order differs across settings while the timeline does
+    not.
+    """
+    if isinstance(records, FlightRecorder):
+        records = records.records
+    return sorted(r for r in records if r[1] in SEMANTIC_KINDS)
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """The first semantic record where two recordings disagree."""
+
+    index: int
+    record_on: Optional[tuple]
+    record_off: Optional[tuple]
+
+    def describe(self) -> str:
+        def _one(label: str, record: Optional[tuple]) -> str:
+            if record is None:
+                return f"  {label}: <no record>"
+            time, kind, resource, detail = record
+            return f"  {label}: t={time!r} {kind} {resource} {detail}"
+
+        return "\n".join(
+            [
+                f"first diverging semantic event (index {self.index}):",
+                _one("fast-on ", self.record_on),
+                _one("fast-off", self.record_off),
+            ]
+        )
+
+
+def first_divergence(on_records, off_records) -> Optional[Divergence]:
+    """The first diverging semantic event between two recordings, or None.
+
+    Accepts recorders or raw record iterables; both sides are normalized
+    through :func:`semantic_records` first.
+    """
+    on = semantic_records(on_records)
+    off = semantic_records(off_records)
+    for index, (a, b) in enumerate(zip(on, off)):
+        if a != b:
+            return Divergence(index=index, record_on=a, record_off=b)
+    if len(on) != len(off):
+        index = min(len(on), len(off))
+        return Divergence(
+            index=index,
+            record_on=on[index] if index < len(on) else None,
+            record_off=off[index] if index < len(off) else None,
+        )
+    return None

@@ -131,16 +131,26 @@ class Tracer:
         self.spans.append(span)
         return span
 
-    def root_for_spec(self, spec_id: str, kind: str = "", **attrs) -> Span:
+    def root_for_spec(
+        self, spec_id: str, kind: str = "", parent: Optional[Span] = None, **attrs
+    ) -> Span:
         """The root span of ``spec_id``'s trace (one per spec, reused).
 
         Re-invoking a spec (a deliberate new incarnation) extends the same
         trace: recovery is part of the collective's story, not a new one.
+        ``parent`` (when the invoking caller bound one of the spec's source
+        objects to its own span, e.g. a fleet op span) records a cross-trace
+        causal link: the trace_id stays the spec_id, but ``parent_id`` points
+        into the caller's trace so the critical-path profiler can attribute
+        the collective's transfers to the caller's operation.
         """
         root = self._roots.get(spec_id)
         if root is None:
             root = self.start_span(
-                f"collective:{kind or 'unknown'}", trace_id=spec_id, **attrs
+                f"collective:{kind or 'unknown'}",
+                trace_id=spec_id,
+                parent=parent,
+                **attrs,
             )
             self._roots[spec_id] = root
         return root
@@ -156,17 +166,30 @@ class Tracer:
         """Attribute future transfers of ``object_id`` to ``span``'s trace."""
         self._objects[str(object_id)] = span
 
+    def span_for_object(self, object_id) -> Optional[Span]:
+        """The span ``object_id`` was bound to, or None."""
+        return self._objects.get(str(object_id))
+
     def span_for_flow(self, flow_id: str) -> Optional[Span]:
         """The bound span a flow id's embedded object id points at.
 
         Flow ids follow ``"{verb}:{object_id}->n{node}"`` (with variants);
-        unbound or unparseable flows trace as their own roots.
+        unbound or unparseable flows trace as their own roots.  Reduce
+        partials tag the *source* endpoint onto the object id
+        (``"reduce:{target}:n2->n0"``), so a miss retries with a trailing
+        ``:nX`` stripped.
         """
         _, sep, rest = flow_id.partition(":")
         if not sep:
             return self._objects.get(flow_id)
         oid, arrow, _ = rest.partition("->")
-        return self._objects.get(oid if arrow else rest)
+        key = oid if arrow else rest
+        span = self._objects.get(key)
+        if span is None:
+            head, sep2, tail = key.rpartition(":")
+            if sep2 and head and tail.startswith("n"):
+                span = self._objects.get(head)
+        return span
 
     # -- reading -----------------------------------------------------------
     def traces(self) -> dict[str, list[Span]]:

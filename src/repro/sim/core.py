@@ -350,6 +350,7 @@ class Simulator:
         "events_processed",
         "unhandled_failures",
         "on_step",
+        "on_pop",
     )
 
     def __init__(self, start_time: float = 0.0):
@@ -368,6 +369,13 @@ class Simulator:
         #: hook must be purely observational — it runs inside the kernel's
         #: dispatch frame.
         self.on_step: Optional[Callable[[float], None]] = None
+        #: Optional per-pop flight-recorder hook, called as
+        #: ``on_pop(when, seq, event)`` with the popped entry's queue
+        #: sequence number.  Same discipline as ``on_step`` (one branch per
+        #: event when unset, purely observational); installed by
+        #: :class:`repro.obs.flight.FlightRecorder` via
+        #: ``Cluster.enable_flight_recorder``.
+        self.on_pop: Optional[Callable[[float, int, Event], None]] = None
 
     # -- time -------------------------------------------------------------
     @property
@@ -434,11 +442,13 @@ class Simulator:
         """Process a single event."""
         if not self._queue:
             raise SimulationError("step() called on an empty event queue")
-        when, _priority, _seq, event = heapq.heappop(self._queue)
+        when, _priority, seq, event = heapq.heappop(self._queue)
         self._now = when
         self.events_processed += 1
         if self.on_step is not None:
             self.on_step(when)
+        if self.on_pop is not None:
+            self.on_pop(when, seq, event)
         callbacks = event.callbacks
         event.callbacks = _PROCESSED
         if callbacks is not None:

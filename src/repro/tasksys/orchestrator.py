@@ -345,15 +345,24 @@ class CollectiveOrchestrator:
         task set can survive.
         """
         self.metrics["invocations"] += 1
+        flight = self.cluster.flight
+        if flight is not None:
+            flight.phase(f"spec:{spec.spec_id}", f"invoke/{spec.kind}")
         obs = self.cluster.obs
         root_span = None
         if obs is not None:
             # The root span anchors the whole trace under the spec_id, and
             # binds every object the spec mentions so transfer spans (and
             # re-executed shares after a fault) land in the same trace.
+            parent = None
+            for oid in spec.all_source_ids():
+                parent = obs.tracer.span_for_object(oid)
+                if parent is not None:
+                    break
             root_span = obs.tracer.root_for_spec(
                 spec.spec_id,
                 spec.kind,
+                parent=parent,
                 participants=len(spec.participants),
                 incarnation=spec.incarnation,
             )
@@ -373,6 +382,8 @@ class CollectiveOrchestrator:
                 results[rank] = value
         if root_span is not None:
             root_span.finish("ok")
+        if flight is not None:
+            flight.phase(f"spec:{spec.spec_id}", "complete")
         return CollectiveOutcome(
             spec=spec,
             results=results,

@@ -337,6 +337,8 @@ class TaskSystem:
                 # Idempotent re-execution: the previous attempt's output
                 # survived (or completed during the failure-detection delay);
                 # adopt it instead of redoing the work.
+                if span is not None:
+                    span.attrs["adopted"] = True
                 record.status = TaskStatus.FINISHED
                 self.metrics.adoptions += 1
                 self.metrics.finished += 1

@@ -171,6 +171,40 @@ def test_json_export_carries_series():
     assert len(prod_bcast["series"]) == 3
 
 
+def test_prometheus_export_skips_empty_families():
+    """Declared families nothing ever observed into emit no text at all."""
+    registry = _latency_registry()
+    registry.histogram("never_observed", "no children", ("op",))
+    registry.counter("never_incremented", "no children", ("link",))
+    text = to_prometheus(registry)
+    assert "never_observed" not in text
+    assert "never_incremented" not in text
+    # JSON keeps the declaration (schema is part of the artifact).
+    names = {family["name"] for family in to_json(registry)["families"]}
+    assert "never_observed" in names and "never_incremented" in names
+    # A labeled child with zero observations still renders sum/count.
+    registry.counter("touched", "", ("cls",)).labels(cls="bulk")
+    assert 'touched_total{cls="bulk"} 0' in to_prometheus(registry)
+
+
+def test_prometheus_export_escapes_label_values_and_help():
+    registry = MetricsRegistry(_Clock(), window=1.0)
+    family = registry.counter("odd", 'help with \\ and\nnewline', ("name",))
+    family.labels(name='a\\b"c\nd').inc()
+    text = to_prometheus(registry)
+    assert "# HELP odd_total help with \\\\ and\\nnewline" in text
+    assert 'odd_total{name="a\\\\b\\"c\\nd"} 1' in text
+    # The rendered exposition never contains a raw newline inside a sample.
+    for line in text.splitlines():
+        assert line == line.strip("\r")
+
+
+def test_zero_or_negative_window_is_rejected():
+    for window in (0.0, -1.0):
+        with pytest.raises(ValueError, match="window"):
+            MetricsRegistry(_Clock(), window=window)
+
+
 def test_slo_evaluator_verdicts():
     registry = _latency_registry()
     targets = [
@@ -318,6 +352,107 @@ def test_trace_transfers_records_coalesced_run_spans():
         assert span.status in ("ok", "resplit") and span.end is not None
         assert span.attrs["kind"] == "CoalescedRun"
         assert span.attrs["blocks"] > 1
+
+
+def _traced_system(num_nodes=3, workers_per_node=1):
+    from repro.collectives.plane import HoplitePlane
+    from repro.core.runtime import HopliteRuntime
+    from repro.tasksys import TaskSystem
+
+    cluster = Cluster(num_nodes=num_nodes, network=NetworkConfig())
+    obs = cluster.enable_observability()
+    system = TaskSystem(
+        cluster, HoplitePlane(HopliteRuntime(cluster)), workers_per_node=workers_per_node
+    )
+    return cluster, obs, system
+
+
+def test_task_failing_before_start_spans_per_attempt():
+    """An attempt killed while still queued is a 'retrying' span; the
+    replacement attempt is a sibling in the same trace, and the task body
+    never ran for the dead attempt."""
+    cluster, obs, system = _traced_system()
+    root = obs.tracer.root_for_spec("prestart-spec", "test")
+    calls = []
+
+    def blocker(ctx):
+        yield ctx.compute(1.0)
+
+    def victim(ctx):
+        calls.append(ctx.node.node_id)
+        yield ctx.compute(0.01)
+        return ObjectValue.of_size(MB)
+
+    cluster.schedule_failure(1, at=0.3)
+
+    def driver():
+        system.submit(blocker, node=1, name="blocker")
+        # One worker slot per node: the victim queues behind the blocker and
+        # is still waiting for the slot when node 1 dies at t=0.3.
+        ref = system.submit(victim, node=1, name="victim", key="prestart-spec#w/0")
+        yield from system.get(ref)
+
+    cluster.sim.process(driver())
+    cluster.run(until=60.0)
+
+    attempts = [s for s in obs.tracer.spans if s.name == "task:victim"]
+    assert len(attempts) == 2
+    first, second = attempts
+    assert first.status == "retrying" and first.attrs["attempt"] == 1
+    assert first.attrs["node"] == 1
+    assert second.status == "ok" and second.attrs["attempt"] == 2
+    assert second.attrs["node"] != 1
+    # Both attempts hang off the lineage root: one trace end-to-end.
+    assert {s.trace_id for s in attempts} == {"prestart-spec"}
+    assert {s.parent_id for s in attempts} == {root.span_id}
+    # The first attempt failed before the body ever started.
+    assert calls == [second.attrs["node"]]
+
+
+def test_adopted_reexecution_span_is_marked():
+    """A re-execution that finds its output already produced adopts it; the
+    adopting attempt's span says so, in the same trace as the dead one."""
+    cluster, obs, system = _traced_system()
+    root = obs.tracer.root_for_spec("adopt-spec", "test")
+    output_id = ObjectID.unique("adopt-out")
+
+    def slow_task(ctx):
+        yield ctx.compute(1.0)
+        return ObjectValue.of_size(MB)
+
+    def external_producer():
+        # Another holder publishes the same output mid-run (e.g. a surviving
+        # replica): the copy lands on node 1 before node 0 dies.
+        yield cluster.sim.timeout(0.2)
+        yield from system.plane.put(
+            cluster.nodes[1], output_id, ObjectValue.of_size(MB)
+        )
+
+    cluster.schedule_failure(0, at=0.5)
+    cluster.sim.process(external_producer())
+
+    def driver():
+        ref = system.submit(
+            slow_task,
+            node=0,
+            name="adoptee",
+            output_id=output_id,
+            key="adopt-spec#w/0",
+        )
+        yield from system.get(ref)
+
+    cluster.sim.process(driver())
+    cluster.run(until=60.0)
+
+    attempts = [s for s in obs.tracer.spans if s.name == "task:adoptee"]
+    assert len(attempts) == 2
+    first, second = attempts
+    assert first.status == "retrying" and "adopted" not in first.attrs
+    assert second.status == "ok" and second.attrs.get("adopted") is True
+    assert system.metrics.adoptions == 1
+    # Span per attempt, one trace end-to-end.
+    assert {s.trace_id for s in attempts} == {"adopt-spec"}
+    assert {s.parent_id for s in attempts} == {root.span_id}
 
 
 # ---------------------------------------------------------------------------
