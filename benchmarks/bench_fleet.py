@@ -94,7 +94,9 @@ def _run_and_report(quick: bool) -> dict:
             for row in result.slo_rows
         ],
         "blame": [row.as_dict() for row in result.blame_rows],
-        "metrics": to_json(result.obs.registry),
+        "metrics": to_json(
+            result.obs.registry, fastpath_stats=result.cluster.fastpath_stats
+        ),
     }
     path = _artifact_path()
     path.write_text(json.dumps(artifact) + "\n")

@@ -3,22 +3,39 @@
 This is the *performance-of-the-simulator* benchmark (simulated results are
 pinned by the golden digests and the bound assertions elsewhere).  The
 basket and its groups are defined in :mod:`repro.bench.perf`; the committed
-``BENCH_perf.json`` carries the trajectory — current numbers plus the
-pre-fast-path baseline measured on the same host.
+``BENCH_perf.json`` carries the trajectory — current numbers, the
+pre-fast-path baseline (re-measured with ``fastpath(False)`` on the
+recording host, stamped with its fingerprint), and the ``--write``-time
+host-profiler / locality blocks.
 
 CI runs ``--quick`` and fails when a quick scenario's events/sec drops more
 than 30% below the committed value, or when a golden digest changes.
 
-Regenerate the committed file after an intentional perf change::
+Modes::
 
     PYTHONPATH=src python benchmarks/bench_perf.py --write
+        regenerate BENCH_perf.json (re-measures the fastpath-off baseline
+        and the hostprof/locality blocks on this host)
+    PYTHONPATH=src python benchmarks/bench_perf.py --profile [--quick]
+        untimed host-profiler + locality pass per scenario: prints the
+        wall-clock blame table and the PDES-speedup report, writes the
+        profile JSON (PERF_PROFILE_OUT, default perf_profile.json) and a
+        Chrome-trace export of the quick fleet (PERF_CHROMETRACE_OUT,
+        default fleet_trace.json) for CI to upload
 """
 
 import json
+import os
 import pathlib
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 BENCH_FILE = REPO_ROOT / "BENCH_perf.json"
+
+#: where ``--profile`` writes the host-profile + locality artifact.
+DEFAULT_PROFILE_ARTIFACT = REPO_ROOT / "perf_profile.json"
+
+#: where ``--profile`` writes the Chrome-trace export of the quick fleet.
+DEFAULT_CHROMETRACE_ARTIFACT = REPO_ROOT / "fleet_trace.json"
 
 #: CI fails when a quick scenario's events/sec falls below this fraction of
 #: the committed number.  Coarse on purpose: CI machines differ from the
@@ -28,6 +45,26 @@ REGRESSION_FLOOR = 0.7
 
 def _committed() -> dict:
     return json.loads(BENCH_FILE.read_text())
+
+
+def _fingerprint() -> dict:
+    """Identify the measuring host: wall clocks only compare like with like.
+
+    The 0.83x-vs-1.07x confusion this resolves: the seed's
+    ``baseline_pre_pr_wall_s`` was recorded on a different (faster) host
+    than later ``--write`` runs, so the matching group's "speedup" silently
+    mixed two machines.  Every written file now carries the fingerprint of
+    the host that measured it, and the baseline is re-measured in the same
+    ``--write`` invocation.
+    """
+    import platform
+
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+    }
 
 
 def test_perf_basket_throughput(run_once, quick):
@@ -96,14 +133,14 @@ def test_golden_digests_still_match(run_once):
 
 
 def _write() -> None:
-    from repro.bench.perf import run_basket
+    from repro.bench.perf import measure_baselines, run_basket
 
     current = _committed()
-    baselines = {
-        row["scenario"]: row.get("baseline_pre_pr_wall_s")
-        for row in current.get("scenarios", [])
-    }
-    rows = run_basket()
+    # Re-measure the pre-fast-path baseline on THIS host in the same
+    # invocation (fastpath(False) restores the pre-PR kernel bit-for-bit),
+    # so speedups never compare wall clocks from two machines again.
+    baselines = measure_baselines()
+    rows = run_basket(profile=True)
     groups: dict = {}
     for row in rows:
         base = baselines.get(row["scenario"])
@@ -124,10 +161,98 @@ def _write() -> None:
             group["speedup_vs_pre_pr"] = round(
                 group["baseline_pre_pr_wall_s"] / group["wall_s"], 2
             )
+    current["comment"] = (
+        "Simulator-throughput trajectory (benchmarks/bench_perf.py). "
+        "baseline_pre_pr_wall_s is re-measured by every --write on the "
+        "recording host (identified by `host`) with both fast paths off "
+        "(fastpath(False) restores the pre-fast-path kernel; simulated "
+        "results are byte-identical, tests/test_golden_determinism.py), so "
+        "speedup_vs_pre_pr always compares like with like. The >=5x "
+        "acceptance target of the fast-path PR is measured on the "
+        "fig7_64_pipeline group; the fig7_64_matching group is "
+        "contention-bound and only gains the incremental-admission constant "
+        "factors by design. hostprof (clock=host, non-deterministic) and "
+        "locality (deterministic PDES oracle) blocks come from an untimed "
+        "profiled pass; timed numbers always run bare. CI gates on "
+        "events_per_s of the quick scenarios regressing >30%."
+    )
+    current["host"] = _fingerprint()
     current["groups"] = groups
     current["scenarios"] = rows
     BENCH_FILE.write_text(json.dumps(current, indent=1) + "\n")
     print(f"wrote {BENCH_FILE}")
+
+
+def _profile_artifact_path() -> pathlib.Path:
+    return pathlib.Path(os.environ.get("PERF_PROFILE_OUT", DEFAULT_PROFILE_ARTIFACT))
+
+
+def _chrometrace_artifact_path() -> pathlib.Path:
+    return pathlib.Path(
+        os.environ.get("PERF_CHROMETRACE_OUT", DEFAULT_CHROMETRACE_ARTIFACT)
+    )
+
+
+def _profile(quick: bool) -> dict:
+    """The ``--profile`` mode: blame tables, locality reports, artifacts."""
+    import repro.net.cluster as cluster_mod
+    from repro.bench.fleet import run_fleet
+    from repro.bench.perf import run_basket
+    from repro.obs import (
+        dump_chrome_trace,
+        format_hostprof_table,
+        format_locality_report,
+    )
+    from repro.store.objects import reset_id_counter
+
+    rows = run_basket(quick=quick, repeats=1, profile=True)
+    for row in rows:
+        print()
+        print(f"=== {row['scenario']} "
+              f"(wall {row['wall_s']:.3f}s, {row['events']} events) ===")
+        print(format_hostprof_table(row["hostprof"]))
+        print()
+        print(format_locality_report(row["locality"]))
+    artifact = {
+        "quick": quick,
+        "host": _fingerprint(),
+        "scenarios": [
+            {
+                "scenario": row["scenario"],
+                "hostprof": row["hostprof"],
+                "locality": row["locality"],
+            }
+            for row in rows
+        ],
+    }
+    profile_path = _profile_artifact_path()
+    profile_path.write_text(json.dumps(artifact, indent=1) + "\n")
+    print(f"\nprofile artifact: {profile_path}")
+
+    # One Chrome-trace export of the quick fleet (spans + flight timeline +
+    # queue-depth counters), loadable in Perfetto / chrome://tracing.
+    previous = cluster_mod.ON_CREATE
+
+    def _hook(cluster) -> None:
+        if previous is not None:
+            previous(cluster)
+        cluster.enable_flight_recorder()
+
+    cluster_mod.ON_CREATE = _hook
+    try:
+        reset_id_counter()
+        result = run_fleet(
+            num_jobs=24, num_racks=2, nodes_per_rack=4, quick=True,
+            trace_transfers=True,
+        )
+    finally:
+        cluster_mod.ON_CREATE = previous
+    trace_path = _chrometrace_artifact_path()
+    doc = dump_chrome_trace(
+        str(trace_path), obs=result.obs, flight=result.cluster.flight
+    )
+    print(f"chrome trace: {trace_path} ({len(doc['traceEvents'])} events)")
+    return artifact
 
 
 if __name__ == "__main__":
@@ -135,5 +260,7 @@ if __name__ == "__main__":
 
     if "--write" in sys.argv:
         _write()
+    elif "--profile" in sys.argv:
+        _profile(quick="--quick" in sys.argv)
     else:
         print(__doc__)

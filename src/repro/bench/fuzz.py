@@ -20,6 +20,10 @@ diverging semantic event** (time, kind, resource, detail) instead of
 leaving a bare pair of hashes.  ``--flight`` runs the whole band with
 recording on, checking both that digests still match (recording is
 observational) and that the on/off semantic records are identical.
+``--hostprof`` additionally enables the host-clock self-profiler and the
+event-locality analyzer on every cluster and compares each profiled digest
+against a bare (unprofiled) run of the same spec: profiling must change no
+simulated result, byte for byte.
 """
 
 from __future__ import annotations
@@ -222,6 +226,32 @@ def _flight_recorders():
         cluster_mod.ON_CREATE = previous
 
 
+@contextmanager
+def _profilers():
+    """Enable hostprof + locality on every cluster a scenario builds.
+
+    Same ON_CREATE mechanism as :func:`_flight_recorders`; composing both
+    (``--flight --hostprof``) exercises the chained ``on_pop`` path — the
+    locality analyzer takes the hook first and the flight recorder chains
+    after it.
+    """
+    import repro.net.cluster as cluster_mod
+
+    previous = cluster_mod.ON_CREATE
+
+    def _hook(cluster) -> None:
+        if previous is not None:
+            previous(cluster)
+        cluster.enable_host_profiler()
+        cluster.enable_locality_analyzer()
+
+    cluster_mod.ON_CREATE = _hook
+    try:
+        yield
+    finally:
+        cluster_mod.ON_CREATE = previous
+
+
 def run_spec_recorded(spec: ScenarioSpec, fast_paths: bool) -> tuple[str, list]:
     """Like :func:`run_spec`, with flight recording on every cluster.
 
@@ -257,8 +287,16 @@ def main(argv: Optional[list[str]] = None) -> int:
         action="store_true",
         help="record every run; also compare the semantic transfer timelines",
     )
+    parser.add_argument(
+        "--hostprof",
+        action="store_true",
+        help="profile every run (hostprof + locality); also compare each "
+        "profiled digest against a bare run of the same spec",
+    )
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
+
+    from contextlib import nullcontext
 
     from repro.obs.flight import first_divergence
 
@@ -266,17 +304,22 @@ def main(argv: Optional[list[str]] = None) -> int:
     for seed in range(args.start, args.start + args.seeds):
         spec = generate_spec(seed)
         divergence = None
-        if args.flight:
-            on, on_records = run_spec_recorded(spec, fast_paths=True)
-            off, off_records = run_spec_recorded(spec, fast_paths=False)
-            divergence = first_divergence(on_records, off_records)
-            ok = on == off and divergence is None
-        else:
-            on = run_spec(spec, fast_paths=True)
-            off = run_spec(spec, fast_paths=False)
-            ok = on == off
-            if not ok:
-                divergence = bisect_divergence(spec)
+        bare = run_spec(spec, fast_paths=True) if args.hostprof else None
+        with _profilers() if args.hostprof else nullcontext():
+            if args.flight:
+                on, on_records = run_spec_recorded(spec, fast_paths=True)
+                off, off_records = run_spec_recorded(spec, fast_paths=False)
+                divergence = first_divergence(on_records, off_records)
+                ok = on == off and divergence is None
+            else:
+                on = run_spec(spec, fast_paths=True)
+                off = run_spec(spec, fast_paths=False)
+                ok = on == off
+                if not ok:
+                    divergence = bisect_divergence(spec)
+        if bare is not None and on != bare:
+            ok = False
+            print(f"FAIL {spec.describe()}: profiling changed the digest")
         if not ok:
             failures += 1
         if args.verbose or not ok:

@@ -29,10 +29,14 @@ Basket groups, chosen to separate the two kernel regimes:
 * ``topology_4rack`` — the oversubscribed-fabric sweep point (memoized
   fabric paths + rack-aware chains).
 * ``moe`` — the alltoall-dominated application mix.
+* ``fleet`` — the multi-tenant fleet (many jobs sharing one hierarchical
+  fabric), timed bare (``observe=False``): the workload ROADMAP item 3
+  wants to scale, and the one the ``--profile`` pass dissects.
 
 ``benchmarks/bench_perf.py`` wraps this module as a pytest benchmark, and
 ``python benchmarks/bench_perf.py --write`` regenerates the committed
-``BENCH_perf.json`` trajectory file.
+``BENCH_perf.json`` trajectory file; ``--profile`` adds an untimed
+host-profiler + locality pass per scenario (see :func:`_profiled`).
 """
 
 from __future__ import annotations
@@ -97,6 +101,29 @@ def _moe(num_nodes: int, num_iterations: int) -> tuple[float, int, dict]:
 
     result = run_moe_routing(num_nodes, "hoplite", num_iterations=num_iterations)
     return result.duration, result.metrics["events_processed"], result.metrics["fastpath"]
+
+
+def _fleet(
+    num_jobs: int, num_racks: int, nodes_per_rack: int, quick: bool
+) -> tuple[float, int, dict]:
+    from repro.bench.fleet import run_fleet
+
+    # observe=False: the throughput gate times the bare simulator; the
+    # observability/profiling variants of this scenario run separately
+    # (bench_fleet.py and the --profile pass here).
+    result = run_fleet(
+        num_jobs=num_jobs,
+        num_racks=num_racks,
+        nodes_per_rack=nodes_per_rack,
+        quick=quick,
+        observe=False,
+    )
+    cluster = result.cluster
+    return (
+        result.duration,
+        cluster.sim.events_processed,
+        cluster.fastpath_stats.as_dict(),
+    )
 
 
 def _basket() -> list[PerfScenario]:
@@ -200,6 +227,18 @@ def _basket() -> list[PerfScenario]:
             lambda: _moe(8, 1),
             quick=True,
         ),
+        # -- multi-tenant fleet (the scaling target ROADMAP item 3 names) --
+        PerfScenario(
+            "fleet/24job_4rack",
+            "fleet",
+            lambda: _fleet(24, 4, 8, quick=False),
+        ),
+        PerfScenario(
+            "fleet/24job_2rack_quick",
+            "fleet",
+            lambda: _fleet(24, 2, 4, quick=True),
+            quick=True,
+        ),
     ]
 
 
@@ -243,8 +282,62 @@ def _observed_critpath(scenario: PerfScenario) -> dict:
     return {"length": round(total, 6), "fractions": fractions}
 
 
-def run_basket(quick: bool = False, repeats: int = 2) -> list[dict]:
-    """Run the (quick subset of the) basket; one result row per scenario."""
+def _profiled(scenario: PerfScenario) -> dict:
+    """One extra (untimed) run with hostprof + locality on; both reports.
+
+    Mirrors :func:`_observed_critpath`: runs *after* the timed repeats, via
+    the ``ON_CREATE`` hook, so the profiling overhead never touches
+    ``wall_s`` / ``events_per_s``.  Host-profiler totals merge across every
+    cluster the scenario builds; the locality report comes from the
+    dominant cluster (most pops) — the one a PDES kernel would shard.
+    """
+    import repro.net.cluster as cluster_mod
+
+    clusters: list = []
+    previous = cluster_mod.ON_CREATE
+
+    def _hook(cluster) -> None:
+        if previous is not None:
+            previous(cluster)
+        cluster.enable_host_profiler()
+        cluster.enable_locality_analyzer()
+        clusters.append(cluster)
+
+    cluster_mod.ON_CREATE = _hook
+    try:
+        _reset_object_ids()
+        scenario.run()
+    finally:
+        cluster_mod.ON_CREATE = previous
+    merged = None
+    dominant = None
+    for cluster in clusters:
+        if merged is None:
+            merged = cluster.hostprof
+        else:
+            merged.merge(cluster.hostprof)
+        if dominant is None or (
+            cluster.locality.total_pops > dominant.locality.total_pops
+        ):
+            dominant = cluster
+    return {
+        "hostprof": merged.report() if merged is not None else None,
+        "locality": (
+            dominant.locality.report() if dominant is not None else None
+        ),
+    }
+
+
+def run_basket(
+    quick: bool = False, repeats: int = 2, profile: bool = False
+) -> list[dict]:
+    """Run the (quick subset of the) basket; one result row per scenario.
+
+    ``profile=True`` adds one untimed pass per scenario with the host-clock
+    self-profiler and the event-locality analyzer attached, and folds their
+    reports into the row (``hostprof``/``locality`` keys).  The timed
+    repeats always run bare either way.
+    """
     rows = []
     for scenario in _basket():
         if quick and not scenario.quick:
@@ -257,26 +350,55 @@ def run_basket(quick: bool = False, repeats: int = 2) -> list[dict]:
             wall = time.perf_counter() - start
             if best_wall is None or wall < best_wall:
                 best_wall = wall
-        rows.append(
-            {
-                "scenario": scenario.key,
-                "group": scenario.group,
-                "quick": scenario.quick,
-                "sim_s": round(sim_s, 9),
-                "wall_s": round(best_wall, 4),
-                "events": events,
-                "events_per_s": round(events / best_wall) if best_wall > 0 else 0,
-                # Per-cluster fast-path counters (repro.net.fastpath), read
-                # off the scenario's own cluster: deterministic per run, so
-                # the last repeat's counters stand for all of them.
-                "convoy": fastpath,
-                # Critical-path category fractions over the traced window,
-                # from a separate observed run (deterministic; see
-                # _observed_critpath).
-                "critpath": _observed_critpath(scenario),
-            }
-        )
+        row = {
+            "scenario": scenario.key,
+            "group": scenario.group,
+            "quick": scenario.quick,
+            "sim_s": round(sim_s, 9),
+            "wall_s": round(best_wall, 4),
+            "events": events,
+            "events_per_s": round(events / best_wall) if best_wall > 0 else 0,
+            # Per-cluster fast-path counters (repro.net.fastpath), read
+            # off the scenario's own cluster: deterministic per run, so
+            # the last repeat's counters stand for all of them.
+            "convoy": fastpath,
+            # Critical-path category fractions over the traced window,
+            # from a separate observed run (deterministic; see
+            # _observed_critpath).
+            "critpath": _observed_critpath(scenario),
+        }
+        if profile:
+            row.update(_profiled(scenario))
+        rows.append(row)
     return rows
+
+
+def measure_baselines(quick: bool = False, repeats: int = 2) -> dict[str, float]:
+    """Per-scenario wall seconds with both fast paths off, on *this* host.
+
+    ``fastpath(False)`` restores the pre-fast-path per-block kernel with
+    byte-identical simulated results (tests/test_golden_determinism.py), so
+    this is the like-for-like ``baseline_pre_pr_wall_s`` measurement —
+    re-run by ``--write`` on the recording host instead of trusting wall
+    clocks measured on whatever machine recorded the seed.
+    """
+    from repro.net.fastpath import fastpath
+
+    walls: dict[str, float] = {}
+    for scenario in _basket():
+        if quick and not scenario.quick:
+            continue
+        best = None
+        for _ in range(max(1, repeats)):
+            _reset_object_ids()
+            with fastpath(False):
+                start = time.perf_counter()
+                scenario.run()
+                wall = time.perf_counter() - start
+            if best is None or wall < best:
+                best = wall
+        walls[scenario.key] = round(best, 4)
+    return walls
 
 
 def convoy_totals(rows: list[dict]) -> dict[str, int]:

@@ -77,6 +77,17 @@ class ObjectDirectory:
         self.records: dict[ObjectID, DirectoryRecord] = {}
         self.lookup_count = 0
         self.publish_count = 0
+        #: wake-fan-out cost counters (deterministic, always on — like the
+        #: lookup/publish counts above): every ``_notify_waiters`` call, the
+        #: waiter events it actually woke, every ``_eligible_sources`` scan,
+        #: and the location candidates those scans walked.  ROADMAP item 3
+        #: names the O(waiters x candidates) rescan as the directory's
+        #: scaling hazard; these four numbers make the future batched-wake
+        #: fix measurable.
+        self.notify_calls = 0
+        self.waiter_wakes = 0
+        self.eligibility_scans = 0
+        self.eligibility_candidates = 0
         #: memoized source-selection tie-break hashes ((object key, node) ->
         #: int): the blake2b is a pure function of the key, and at fleet
         #: scale the per-candidate hashing dominated eligibility scans.
@@ -102,12 +113,29 @@ class ObjectDirectory:
             raise NodeFailedError(f"node {requester.node_id} is down", node=requester)
         shard_node = self._shard_node(object_id)
         if requester.node_id == shard_node.node_id:
-            yield self.sim.timeout(self.config.rpc_latency / 4.0)
+            timeout = self.sim.timeout(self.config.rpc_latency / 4.0)
+            loc = self.sim.locality
+            if loc is not None:
+                loc.tag(timeout, requester.node_id)
+            yield timeout
         else:
             # Control-plane traffic rides the latency path (it never occupies
             # a bulk link slot) but is visible to the flow accounting.
             requester.uplink_sched.record_control()
-            yield self.sim.timeout(self.config.rpc_latency)
+            timeout = self.sim.timeout(self.config.rpc_latency)
+            loc = self.sim.locality
+            if loc is not None:
+                # A cross-rack control RPC is a zero-lookahead partition
+                # interaction: the shard answers at RPC latency, below the
+                # cross-rack propagation lookahead a conservative PDES
+                # window relies on.
+                if self.cluster.topology.same_rack(
+                    requester.node_id, shard_node.node_id
+                ):
+                    loc.tag(timeout, requester.node_id)
+                else:
+                    loc.tag_sync_rpc(timeout)
+            yield timeout
         if not requester.alive:
             raise NodeFailedError(f"node {requester.node_id} is down", node=requester)
 
@@ -119,15 +147,25 @@ class ObjectDirectory:
         return record
 
     def _notify_waiters(self, record: DirectoryRecord) -> None:
+        prof = self.sim.host_prof
+        if prof is not None:
+            prof.enter("directory")
+        self.notify_calls += 1
+        wakes = 0
         if record.locations or record.inline_value is not None:
             for event in record.waiters:
                 if not event.triggered:
                     event.succeed(record)
+                    wakes += 1
             record.waiters = []
         for event in record.availability_waiters:
             if not event.triggered:
                 event.succeed(record)
+                wakes += 1
         record.availability_waiters = []
+        self.waiter_wakes += wakes
+        if prof is not None:
+            prof.exit()
 
     # -- synchronous (zero-cost) inspection helpers, used by tests -------------
     def peek_record(self, object_id: ObjectID) -> Optional[DirectoryRecord]:
@@ -238,6 +276,9 @@ class ObjectDirectory:
         record = self._record(object_id)
         while not record.locations and record.inline_value is None:
             event = Event(self.sim)
+            loc = self.sim.locality
+            if loc is not None:
+                loc.tag(event, requester.node_id)
             record.waiters.append(event)
             yield event
         return record
@@ -293,6 +334,11 @@ class ObjectDirectory:
     def _eligible_sources(
         self, record: DirectoryRecord, requester_id: int, exclude
     ) -> list[LocationInfo]:
+        prof = self.sim.host_prof
+        if prof is not None:
+            prof.enter("directory")
+        self.eligibility_scans += 1
+        self.eligibility_candidates += len(record.locations)
         sources = []
         view: Optional[dict] = None
         for info in record.locations.values():
@@ -356,6 +402,8 @@ class ObjectDirectory:
                 info.node_id,
             )
         )
+        if prof is not None:
+            prof.exit()
         return sources
 
     def _rack_local_copy_pending(
@@ -471,6 +519,9 @@ class ObjectDirectory:
                 self._notify_waiters(record)
                 return chosen
             event = Event(self.sim)
+            loc = self.sim.locality
+            if loc is not None:
+                loc.tag(event, requester.node_id)
             record.availability_waiters.append(event)
             record.waiters.append(event)
             if hold_for_rack:

@@ -182,6 +182,10 @@ class CoalescedRun:
         "_flight_flow",
     )
 
+    #: host-profiler category for planning/accounting work done by this run
+    #: class (``ConvoyRun`` overrides it — same code paths, separate blame).
+    _prof_cat = "coalesce"
+
     def __init__(
         self,
         sim: Simulator,
@@ -200,6 +204,9 @@ class CoalescedRun:
         src_schedule: Optional[InflightSchedule] = None,
         boundaries: Optional[tuple[Sequence[float], Sequence[float], Sequence[float]]] = None,
     ):
+        prof = sim.host_prof
+        if prof is not None:
+            prof.enter(self._prof_cat)
         self.sim = sim
         self.src = src
         self.dst = dst
@@ -258,6 +265,8 @@ class CoalescedRun:
         #: True when an owning domain attached holds/schedule synchronously
         #: at formation time (so ``run`` must not attach again).
         self.preattached = False
+        if prof is not None:
+            prof.exit()
 
     # -- virtual-hold protocol (shared by every claimed resource) ----------
     def occupied(self, at: float) -> int:
@@ -347,6 +356,12 @@ class CoalescedRun:
         self._wake = wake
         trigger = self.sim.wake_at(target)
         trigger.callbacks = [lambda _ev, wake=wake: self._fire(wake)]
+        loc = self.sim.locality
+        if loc is not None:
+            # Boundary wake-ups belong to the destination's partition: the
+            # run's remaining state lives with the receiving entry.
+            loc.tag(trigger, self.dst.node_id)
+            loc.tag(wake, self.dst.node_id)
         return wake
 
     def _fire(self, wake: Event) -> None:
@@ -423,6 +438,9 @@ class CoalescedRun:
 
     def _account_full(self, count: int) -> None:
         """Link-account blocks ``[_accounted, count)`` at their full hold."""
+        prof = self.sim.host_prof
+        if prof is not None:
+            prof.enter(self._prof_cat)
         flow = self.flow
         flight = self._flight
         for j in range(self._accounted, count):
@@ -435,6 +453,8 @@ class CoalescedRun:
                 flight.record(self.s[j], "grant", self._flight_key, detail)
                 flight.record(self.e[j], "release", self._flight_key, detail)
         self._accounted = max(self._accounted, count)
+        if prof is not None:
+            prof.exit()
 
     def _account_partial(self, j: int, hold: float) -> None:
         """One block released mid-transmission (interrupt semantics)."""
@@ -454,6 +474,12 @@ class CoalescedRun:
         Must run after the inflight schedule is closed so the marks write
         through to the stored counter (and fire any re-registered waiters).
         """
+        prof = self.sim.host_prof
+        if prof is not None:
+            prof.enter(self._prof_cat)
+        loc = self.sim.locality
+        if loc is not None:
+            loc.arrival(self.src.node_id, self.dst.node_id, count)
         if self.schedule is not None:
             self.schedule.close()
             self.schedule = None
@@ -475,6 +501,8 @@ class CoalescedRun:
                     self._flight_key,
                     f"{self._flight_flow}/{nbytes}",
                 )
+        if prof is not None:
+            prof.exit()
 
     # -- the driver --------------------------------------------------------
     def run(self) -> Generator:
@@ -773,6 +801,11 @@ class ComputeRun:
         self._wake = wake
         trigger = self.sim.wake_at(target)
         trigger.callbacks = [lambda _ev, wake=wake: self._fire(wake)]
+        loc = self.sim.locality
+        if loc is not None:
+            # Compute-slot wake-ups never leave the owning node.
+            loc.tag(trigger, self.node.node_id)
+            loc.tag(wake, self.node.node_id)
         return wake
 
     def _fire(self, wake: Event) -> None:
@@ -900,6 +933,9 @@ def build_pull_run(
     """
     from repro.net.flowsched import path_latency, path_transmission_time
 
+    prof = dst.sim.host_prof
+    if prof is not None:
+        prof.enter("coalesce")
     avail = min(source_entry.blocks_ready, horizon)
     src_schedule = source_entry._inflight if horizon > avail else None
     ready_times = None
@@ -917,7 +953,7 @@ def build_pull_run(
     else:
         tx = [path_transmission_time(config, src, dst, nb) for nb in sizes]
         latency = path_latency(config, src, dst)
-    return CoalescedRun(
+    run = CoalescedRun(
         dst.sim,
         src,
         dst,
@@ -933,6 +969,9 @@ def build_pull_run(
         ready_times=ready_times,
         src_schedule=src_schedule,
     )
+    if prof is not None:
+        prof.exit()
+    return run
 
 
 def nic_path_links(

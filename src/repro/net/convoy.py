@@ -228,6 +228,9 @@ class ConvoyRun(CoalescedRun):
 
     __slots__ = ("domain", "handle", "q", "q0_at_formation")
 
+    #: convoy work shows up under its own blame category, not "coalesce".
+    _prof_cat = "convoy"
+
     def __init__(self, *args, **kwargs):
         CoalescedRun.__init__(self, *args, **kwargs)
         self.domain: Optional["ConvoyDomain"] = None
@@ -581,6 +584,19 @@ def maybe_form(handle: StreamHandle, block_index: int) -> Optional[ConvoyRun]:
     only a plausible lockstep group pays for validation and planning, and a
     refused plan stamps a cooldown so per-block retries short-circuit.
     """
+    prof = handle.src.sim.host_prof
+    if prof is None:
+        return _maybe_form(handle, block_index)
+    # The body has many early returns; the try/finally keeps the region
+    # balanced on every one of them.
+    prof.enter("convoy")
+    try:
+        return _maybe_form(handle, block_index)
+    finally:
+        prof.exit()
+
+
+def _maybe_form(handle: StreamHandle, block_index: int) -> Optional[ConvoyRun]:
     if not ENABLED:
         return None
     sim = handle.src.sim

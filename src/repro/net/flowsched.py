@@ -222,11 +222,26 @@ class Reservation:
         )
         claims = [(src.uplink, 1), (dst.downlink, 1)]
         claims.extend((link.resource, 1) for link in self.path)
+        prof = self.sim.host_prof
+        if prof is not None:
+            prof.enter("flowsched")
         self.request = MultiRequest(
             self.sim,
             claims,
             priority=int(flow.flow_class),
         )
+        if prof is not None:
+            prof.exit()
+        loc = self.sim.locality
+        if loc is not None:
+            # A reservation whose claim set spans shared tier links couples
+            # two partitions' admission state at the same instant — the
+            # zero-lookahead interaction a conservative PDES window cannot
+            # hide.  Intra-rack claims stay inside the source's partition.
+            if self.path:
+                loc.tag_sync_reservation(self.request)
+            else:
+                loc.tag(self.request, src.node_id)
         self._closed = False
 
     @property
@@ -243,6 +258,16 @@ class Reservation:
         if self._closed:
             return
         self._closed = True
+        prof = self.sim.host_prof
+        if prof is not None:
+            prof.enter("flowsched")
+        try:
+            self._release_inner()
+        finally:
+            if prof is not None:
+                prof.exit()
+
+    def _release_inner(self) -> None:
         if self.request.granted:
             hold = self.sim.now - self.request.granted_at
             self.src.uplink_sched.account(self.flow, self.nbytes, hold)
@@ -352,7 +377,13 @@ class FlowTransport:
             if handle is not None:
                 handle.phase = PHASE_TX
                 handle.tx_end = sim._now + tx_t
-            yield sim.timeout(tx_t)
+            tx_timeout = sim.timeout(tx_t)
+            loc = sim.locality
+            if loc is not None:
+                # Serialization happens at the source NIC: the event belongs
+                # to the source's partition.
+                loc.tag(tx_timeout, src.node_id)
+            yield tx_timeout
             _check_alive(src, dst)
         finally:
             reservation.release()
@@ -362,7 +393,15 @@ class FlowTransport:
         if handle is not None:
             handle.phase = PHASE_LAT
             handle.arr_at = sim._now + lat
-        yield sim.timeout(lat)
+        lat_timeout = sim.timeout(lat)
+        loc = sim.locality
+        if loc is not None:
+            # Delivery lands in the destination's partition; the causal
+            # predecessor (tx end at the source) is one propagation latency
+            # in the past — at least the lookahead for cross-rack paths.
+            loc.tag(lat_timeout, dst.node_id)
+            loc.arrival(src.node_id, dst.node_id)
+        yield lat_timeout
         _check_alive(dst)
         cluster = src.cluster
         if cluster is not None and cluster.flight is not None:

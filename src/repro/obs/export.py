@@ -100,8 +100,15 @@ def to_prometheus(registry: MetricsRegistry) -> str:
     return "\n".join(lines) + "\n"
 
 
-def to_json(registry: MetricsRegistry) -> dict:
-    """The registry plus its simulated-time series, JSON-serializable."""
+def to_json(registry: MetricsRegistry, fastpath_stats=None) -> dict:
+    """The registry plus its simulated-time series, JSON-serializable.
+
+    ``fastpath_stats`` (a :class:`repro.net.fastpath.FastpathStats`, usually
+    ``cluster.fastpath_stats``) rides along under a ``"fastpath"`` key so a
+    single artifact carries the whole picture — metric series *and* the
+    coalesce/convoy counters that explain them.  The key set is pinned to
+    ``repro.net.fastpath.COUNTER_KEYS`` by a regression test.
+    """
     families = []
     for family in registry.sorted_families():
         children = []
@@ -133,7 +140,10 @@ def to_json(registry: MetricsRegistry) -> dict:
                 "children": children,
             }
         )
-    return {"window": registry.window, "families": families}
+    doc = {"window": registry.window, "families": families}
+    if fastpath_stats is not None:
+        doc["fastpath"] = fastpath_stats.as_dict()
+    return doc
 
 
 # ---------------------------------------------------------------------------

@@ -79,7 +79,18 @@ class Event:
     time.  Once triggered its value is immutable.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_exception", "_ok", "defused")
+    __slots__ = (
+        "sim",
+        "callbacks",
+        "_value",
+        "_exception",
+        "_ok",
+        "defused",
+        # Owning-node tag written by locality-analyzer sites and read only
+        # by the analyzer's pop hook; left unset when analysis is off (the
+        # slot descriptor costs one pointer per event, no init-time work).
+        "_loc_owner",
+    )
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -351,6 +362,8 @@ class Simulator:
         "unhandled_failures",
         "on_step",
         "on_pop",
+        "host_prof",
+        "locality",
     )
 
     def __init__(self, start_time: float = 0.0):
@@ -376,6 +389,18 @@ class Simulator:
         #: :class:`repro.obs.flight.FlightRecorder` via
         #: ``Cluster.enable_flight_recorder``.
         self.on_pop: Optional[Callable[[float, int, Event], None]] = None
+        #: Optional :class:`repro.obs.hostprof.HostProfiler` attributing
+        #: *host* wall-clock self-time to kernel subsystems.  Same
+        #: discipline as the hooks above: ``None`` costs one branch per
+        #: instrumented region, and the profiler only ever reads the host
+        #: clock — simulated results are identical on or off.  Installed by
+        #: ``Cluster.enable_host_profiler``.
+        self.host_prof: Optional[Any] = None
+        #: Optional :class:`repro.obs.locality.LocalityAnalyzer` whose
+        #: tagging sites stamp events with their owning node (one branch
+        #: per site when unset).  Its pop hook rides ``on_pop``.  Installed
+        #: by ``Cluster.enable_locality_analyzer``.
+        self.locality: Optional[Any] = None
 
     # -- time -------------------------------------------------------------
     @property
@@ -442,6 +467,13 @@ class Simulator:
         """Process a single event."""
         if not self._queue:
             raise SimulationError("step() called on an empty event queue")
+        prof = self.host_prof
+        if prof is not None:
+            # "dispatch" is the outermost profiled region: every nested
+            # region (admission, directory, ...) subtracts from its
+            # self-time, so un-instrumented callback work stays charged
+            # here and category totals cover the whole step.
+            prof.enter("dispatch")
         when, _priority, seq, event = heapq.heappop(self._queue)
         self._now = when
         self.events_processed += 1
@@ -456,6 +488,8 @@ class Simulator:
                 callback(event)
         if not event._ok and not event.defused:
             self.unhandled_failures.append(event)
+        if prof is not None:
+            prof.exit()
 
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run the simulation.
@@ -477,13 +511,20 @@ class Simulator:
 
         queue = self._queue
         step = self.step
-        while queue:
-            if stop_event is not None and stop_event.callbacks is _PROCESSED:
-                break
-            if queue[0][0] > stop_time:
-                self._now = stop_time
-                break
-            step()
+        prof = self.host_prof
+        if prof is not None:
+            prof.begin_run()
+        try:
+            while queue:
+                if stop_event is not None and stop_event.callbacks is _PROCESSED:
+                    break
+                if queue[0][0] > stop_time:
+                    self._now = stop_time
+                    break
+                step()
+        finally:
+            if prof is not None:
+                prof.end_run()
 
         if stop_event is not None:
             if not stop_event.triggered:

@@ -323,3 +323,50 @@ def test_source_selection_prefers_load_over_tie_break():
     sources = directory._eligible_sources(record, requester_id=0, exclude=())
     assert sources[-1].node_id == 2
     cluster.node(2).uplink.release(request)
+
+
+def test_wake_fanout_counters_pin_the_rescan_cost(setup):
+    """The wake/eligibility counters quantify the O(waiters x candidates)
+    rescan ROADMAP item 3 names, so the future batched-wake fix has a
+    measurable before/after (these are always-on deterministic counters,
+    like lookup_count/publish_count)."""
+    cluster, directory = setup
+    object_id = ObjectID.of("watched")
+
+    assert directory.notify_calls == 0
+    assert directory.waiter_wakes == 0
+    assert directory.eligibility_scans == 0
+    assert directory.eligibility_candidates == 0
+
+    def waiter(node_id):
+        yield from directory.wait_for_object(cluster.node(node_id), object_id)
+        return node_id
+
+    def publisher():
+        yield cluster.sim.timeout(0.001)
+        yield from directory.publish_complete(cluster.node(0), object_id, MB)
+
+    waiters = [cluster.sim.process(waiter(n)) for n in (1, 2, 3)]
+    cluster.sim.process(publisher())
+    cluster.run()
+    assert all(process.ok for process in waiters)
+
+    # The publish notified the shard's waiter list once and woke all three.
+    assert directory.notify_calls >= 1
+    assert directory.waiter_wakes >= 3
+
+    # An acquire scans the candidate location table exactly once here.
+    scans_before = directory.eligibility_scans
+    candidates_before = directory.eligibility_candidates
+
+    def acquire():
+        source = yield from directory.acquire_transfer_source(
+            cluster.node(2), object_id
+        )
+        return source
+
+    source = drive(cluster, acquire())
+    assert source.node_id == 0
+    assert directory.eligibility_scans == scans_before + 1
+    # One complete location existed when the scan ran.
+    assert directory.eligibility_candidates >= candidates_before + 1

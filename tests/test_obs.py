@@ -169,6 +169,18 @@ def test_json_export_carries_series():
     assert prod_bcast["count"] == 3
     assert prod_bcast["quantiles"]["0.5"] == 0.020
     assert len(prod_bcast["series"]) == 3
+    # No fastpath_stats passed -> no fastpath key (artifact shape is opt-in).
+    assert "fastpath" not in payload
+
+
+def test_json_export_carries_fastpath_counters():
+    """The fastpath block's key set is pinned to COUNTER_KEYS: a new
+    counter kind must show up in the artifact (and this test) on purpose."""
+    cluster = Cluster(num_nodes=2, network=NetworkConfig())
+    registry = MetricsRegistry(cluster.sim, window=1.0)
+    payload = to_json(registry, fastpath_stats=cluster.fastpath_stats)
+    assert set(payload["fastpath"].keys()) == set(COUNTER_KEYS)
+    assert all(value == 0 for value in payload["fastpath"].values())
 
 
 def test_prometheus_export_skips_empty_families():
