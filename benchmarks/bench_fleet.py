@@ -33,6 +33,7 @@ DEFAULT_CRITPATH_ARTIFACT = (
 #: set (and the ROADMAP taxonomy notes) in the same commit.
 EXPECTED_FAMILIES = {
     "control_messages": ["link", "tier"],
+    "control_plane_ops": ["op"],
     "fastpath_events": ["kind"],
     "fleet_job_ops": ["tenant", "job", "op"],
     "fleet_op_latency_seconds": ["tenant", "op", "size"],

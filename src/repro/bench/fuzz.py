@@ -150,8 +150,15 @@ def generate_spec(seed: int) -> ScenarioSpec:
     return spec
 
 
-def run_spec(spec: ScenarioSpec, fast_paths: bool) -> str:
-    """Run one scenario with the fast paths forced on or off; return its digest."""
+def run_spec(
+    spec: ScenarioSpec, fast_paths: bool, latency_out: Optional[dict] = None
+) -> str:
+    """Run one scenario with the fast paths forced on or off; return its digest.
+
+    ``latency_out`` (a dict) receives the measured completion latency under
+    the key ``"latency"`` — the control-plane band uses it to place kills
+    mid-collective without re-deriving scenario durations.
+    """
     from repro.bench import scenarios as sc
     from repro.core.options import HopliteOptions
     from repro.net.fastpath import fastpath
@@ -184,6 +191,8 @@ def run_spec(spec: ScenarioSpec, fast_paths: bool) -> str:
     _reset_object_ids()
     with fastpath(fast_paths):
         latency = measure(spec.system, spec.num_nodes, spec.nbytes, **kwargs)
+    if latency_out is not None:
+        latency_out["latency"] = latency
     stats = kwargs["flow_stats"]
     parts: list = [(spec.describe(), repr(latency))]
     parts.extend(_flow_fingerprint(stats))
@@ -252,6 +261,70 @@ def _profilers():
         cluster_mod.ON_CREATE = previous
 
 
+@contextmanager
+def _control_plane_kills(events):
+    """Install a control-plane kill schedule on every runtime a scenario builds.
+
+    The directory lives inside the :class:`~repro.core.runtime.HopliteRuntime`
+    a ``measure_*`` constructs, so the harness reaches it through the
+    module-level :data:`repro.core.runtime.ON_CREATE` hook — the same idiom
+    :func:`_flight_recorders` uses for clusters.
+    """
+    import repro.core.runtime as runtime_mod
+
+    from repro.net.failure import schedule_control_plane
+
+    previous = runtime_mod.ON_CREATE
+
+    def _hook(runtime) -> None:
+        if previous is not None:
+            previous(runtime)
+        schedule_control_plane(runtime.sim, events, directory=runtime.directory)
+
+    runtime_mod.ON_CREATE = _hook
+    try:
+        yield
+    finally:
+        runtime_mod.ON_CREATE = previous
+
+
+def control_plane_differential(seed: int):
+    """One seeded scenario under directory-shard kills, fast paths on vs off.
+
+    The ``control_plane`` fault class: a baseline run measures the scenario's
+    latency, a seeded Poisson schedule then kills directory shards
+    mid-collective, and the killed run must still digest-identical between
+    fast-paths-on and fast-paths-off — shard death, RPC parking, and WAL
+    replay are all deterministic machinery, so they must not reopen the
+    equivalence the plain band pins.
+
+    Returns ``(spec, events, on_digest, off_digest)``.
+    """
+    spec = generate_spec(seed)
+    if spec.system != "hoplite":
+        # Only the object plane has a directory to kill; the static
+        # baselines are exercised by the plain band.
+        spec.system = "hoplite"
+        if spec.collective == "broadcast" and spec.arrival_delays is not None:
+            spec.arrival_delays = spec.arrival_delays[: spec.num_nodes - 1]
+    from repro.net.failure import poisson_control_plane_failures
+
+    latency: dict = {}
+    run_spec(spec, fast_paths=True, latency_out=latency)
+    horizon = max(latency["latency"] * 0.8, 1e-3)
+    events = poisson_control_plane_failures(
+        num_shards=4,
+        rate_per_second=2.0 / horizon,
+        horizon=horizon,
+        seed=0xC7A1 ^ seed,
+        include_lineage=False,
+    )
+    with _control_plane_kills(events):
+        on = run_spec(spec, fast_paths=True)
+        off = run_spec(spec, fast_paths=False)
+    return spec, events, on, off
+
+
 def run_spec_recorded(spec: ScenarioSpec, fast_paths: bool) -> tuple[str, list]:
     """Like :func:`run_spec`, with flight recording on every cluster.
 
@@ -293,12 +366,38 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="profile every run (hostprof + locality); also compare each "
         "profiled digest against a bare run of the same spec",
     )
+    parser.add_argument(
+        "--control-plane",
+        action="store_true",
+        help="inject seeded directory-shard kills mid-collective and compare "
+        "killed digests fast-paths-on vs off (the control_plane fault class)",
+    )
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
 
     from contextlib import nullcontext
 
     from repro.obs.flight import first_divergence
+
+    if args.control_plane:
+        failures = 0
+        killed = 0
+        for seed in range(args.start, args.start + args.seeds):
+            spec, events, on, off = control_plane_differential(seed)
+            killed += len(events)
+            ok = on == off
+            if not ok:
+                failures += 1
+            if args.verbose or not ok:
+                print(
+                    f"{'OK  ' if ok else 'FAIL'} {spec.describe()} "
+                    f"kills={len(events)}"
+                )
+        print(
+            f"{args.seeds - failures}/{args.seeds} seeds identical "
+            f"({killed} control-plane kills injected)"
+        )
+        return 1 if failures else 0
 
     failures = 0
     for seed in range(args.start, args.start + args.seeds):

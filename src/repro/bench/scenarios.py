@@ -1033,6 +1033,119 @@ def measure_driver_failure(
     return finish["t"]
 
 
+def measure_control_plane_failure(
+    num_nodes: int,
+    nbytes: int,
+    collective: str = "allgather",
+    target: str = "directory",
+    shard_id: int = 0,
+    fail_at: Optional[float] = None,
+    fail_fraction: Optional[float] = None,
+    budget: float = 600.0,
+    network: Optional[NetworkConfig] = None,
+    options: Optional[HopliteOptions] = None,
+    stats: Optional[dict] = None,
+) -> float:
+    """Completion time of one collective whose **control plane dies** mid-run.
+
+    The collective runs on the Hoplite object plane through the
+    :class:`~repro.tasksys.orchestrator.CollectiveOrchestrator`; at
+    ``fail_at`` the scenario kills the chosen control-plane component:
+
+    * ``target="directory"`` — one directory shard (``shard_id``) loses its
+      volatile record table; clients park on the shard's recovery event
+      while the shard replays its WAL (checkpoint + tail).
+    * ``target="lineage"`` — the lineage/ownership services are wiped and
+      rebuilt by :meth:`~repro.tasksys.orchestrator.CollectiveOrchestrator.
+      replay_after_restart`; in-flight specs resume at their last durable
+      incarnation.
+    * ``target="both"`` — both at once.
+
+    ``fail_fraction`` calibrates the kill to land mid-collective exactly as
+    in :func:`measure_driver_failure`.  ``fail_at=None`` runs failure-free
+    (the baseline).
+
+    If ``stats`` is given (a dict), it is filled with the run's recovery
+    accounting, including ``static_restart`` — the completion time a control
+    plane *without* WAL replay would post, where losing the directory or the
+    lineage log aborts the job and the launcher reruns the collective from
+    scratch after one failure-detection delay: ``fail_at + detection +
+    baseline``.  Replay-based recovery beating that number is the scenario's
+    headline claim.
+    """
+    network = network or NetworkConfig()
+    if target not in ("directory", "lineage", "both"):
+        raise ValueError("target must be 'directory', 'lineage', or 'both'")
+    if num_nodes < 2:
+        raise ValueError("control-plane scenarios need at least two nodes")
+    baseline: Optional[float] = None
+    if fail_fraction is not None:
+        if fail_at is not None:
+            raise ValueError("pass either fail_at or fail_fraction, not both")
+        if not 0.0 < fail_fraction < 1.0:
+            raise ValueError("fail_fraction must be in (0, 1)")
+        baseline = measure_control_plane_failure(
+            num_nodes,
+            nbytes,
+            collective=collective,
+            target=target,
+            shard_id=shard_id,
+            network=network,
+            options=options,
+        )
+        fail_at = fail_fraction * baseline
+
+    cluster = _make_cluster(num_nodes, network)
+    sim = cluster.sim
+    plane = _make_plane("hoplite", cluster, options)
+    runtime = plane.runtime
+    task_system = TaskSystem(cluster, plane)
+    orchestrator = CollectiveOrchestrator(task_system)
+    spec = _driver_failure_spec(collective, num_nodes, nbytes, "ctlfail-hoplite")
+    finish: dict[str, float] = {}
+
+    def _killer() -> Generator:
+        yield sim.timeout(fail_at)
+        if target in ("directory", "both"):
+            runtime.directory.fail_shard(shard_id % len(runtime.directory.shards))
+        if target in ("lineage", "both"):
+            orchestrator.kill_control_plane()
+
+    if fail_at is not None:
+        sim.process(_killer(), name="control-plane-killer")
+
+    def _driver() -> Generator:
+        outcome = yield from orchestrator.invoke(spec)
+        finish["t"] = outcome.completion_time
+
+    sim.process(_driver(), name="control-plane-failure-scenario")
+    sim.run(until=budget)
+    if "t" not in finish:
+        raise RuntimeError(
+            f"collective did not complete within {budget} simulated seconds"
+        )
+    if stats is not None:
+        directory = runtime.directory
+        stats["fail_at"] = fail_at
+        stats["baseline"] = baseline
+        stats["shard_kills"] = directory.shard_kills
+        stats["replay_applied"] = [
+            shard.last_replay_applied for shard in directory.shards
+        ]
+        stats["replay_self_check"] = [
+            shard.replay_self_check for shard in directory.shards
+        ]
+        stats["control_plane_kills"] = orchestrator.metrics["control_plane_kills"]
+        stats["control_plane_resubmissions"] = orchestrator.metrics[
+            "control_plane_resubmissions"
+        ]
+        if baseline is not None and fail_at is not None:
+            stats["static_restart"] = (
+                fail_at + cluster.config.failure_detection_delay + baseline
+            )
+    return finish["t"]
+
+
 def measure_alltoall(
     system: str,
     num_nodes: int,

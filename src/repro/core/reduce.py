@@ -292,6 +292,9 @@ class _SlotState:
         self.process: Optional[Process] = None
         self.stream_processes: list[Process] = []
         self.output_entry: Optional[StoredObject] = None
+        #: set by the repair when this (root) slot's host died: the restarted
+        #: slot seeds its target prefix from the best surviving partial copy.
+        self.seed_prefix = False
 
     @property
     def rank(self) -> int:
@@ -622,6 +625,11 @@ class ReduceExecution:
                 yield from runtime.directory.publish_partial(
                     node, self.target_id, output.size, upstream=None
                 )
+                if state.seed_prefix:
+                    state.seed_prefix = False
+                    yield from self._seed_root_prefix(state)
+                    if not node.alive:
+                        return
 
             own_entry = store.try_get_entry(state.object_id)
             if own_entry is None:
@@ -660,7 +668,10 @@ class ReduceExecution:
                 entry.ref_count += 1
             try:
                 weight = max(1, len(inputs) - 1)
-                block_index = 0
+                # Resume where the output already has blocks: zero on every
+                # fresh entry, the preserved/seeded prefix after a streaming
+                # repair (receivers that kept those blocks never re-pull them).
+                block_index = output.blocks_ready
                 while block_index < output.num_blocks:
                     # Coalesced fast path: every block whose inputs are
                     # present or arriving on a known schedule combines by
@@ -739,6 +750,75 @@ class ReduceExecution:
             # The coordinator's failure hook drives the repair; this process
             # simply stops.
             return
+
+    def _seed_root_prefix(self, state: _SlotState) -> Generator:
+        """Seed the re-created root target from the best surviving partial copy.
+
+        Streaming allreduce recovery (carried ROADMAP item): receivers that
+        were pulling the target before the root died still hold its prefix in
+        their local stores.  Instead of recomputing — and re-broadcasting —
+        the whole target, the new root pulls the longest surviving prefix
+        back from the most advanced receiver (ties broken by lowest node id,
+        deterministically) and resumes the reduce at that block; the
+        receivers then resume their own streams where they left off.  Any
+        failure mid-seed degrades gracefully to recomputing from wherever
+        the seed got to.
+        """
+        runtime = self.runtime
+        config = self.config
+        node = state.host
+        output = state.output_entry
+        best_entry: Optional[StoredObject] = None
+        best_node: Optional[Node] = None
+        for node_id in sorted(runtime.stores):
+            peer = runtime.node(node_id)
+            if not peer.alive or node_id == node.node_id:
+                continue
+            entry = runtime.stores[node_id].try_get_entry(self.target_id)
+            if entry is None or entry.blocks_ready <= 0:
+                continue
+            if best_entry is None or entry.blocks_ready > best_entry.blocks_ready:
+                best_entry = entry
+                best_node = peer
+        if best_entry is None:
+            return
+        # Snapshot the prefix length now: the donor's own (dead) upstream can
+        # deliver nothing more, so only what is present is worth copying.
+        prefix = min(best_entry.blocks_ready, output.num_blocks)
+        if output.blocks_ready >= prefix:
+            return
+        flow = Flow(
+            f"reduce-seed:{self.target_id}:n{best_node.node_id}->n{node.node_id}",
+            FlowClass.REDUCE_PARTIAL,
+        )
+        donor_store = runtime.store(best_node)
+        local_store = runtime.store(node)
+        # Reference the donor's copy so a capacity-limited store cannot
+        # evict the prefix while it is being pulled back.
+        best_entry.ref_count += 1
+        try:
+            block_index = output.blocks_ready
+            while block_index < prefix:
+                if not best_node.alive or not node.alive:
+                    return
+                if best_entry.blocks_ready <= block_index:
+                    # The donor lost the prefix mid-seed (eviction/failure);
+                    # recompute from wherever the seed got to.
+                    return
+                nbytes = config.block_bytes(output.size, block_index)
+                try:
+                    yield from transfer_block(
+                        config, best_node, node, nbytes, flow
+                    )
+                except TransferError:
+                    return
+                donor_store.account_flow_out(flow, nbytes)
+                local_store.account_flow_in(flow, nbytes)
+                output.mark_block_ready(block_index)
+                block_index += 1
+            runtime.root_prefix_seeds += 1
+        finally:
+            best_entry.ref_count -= 1
 
     def _stream_child(
         self, parent_state: _SlotState, child_state: _SlotState, staging: StoredObject
@@ -938,6 +1018,10 @@ class ReduceExecution:
             state.object_id = None
             state.host = None
             state.output_entry = None
+            if state.slot.parent is None:
+                # The root's target entry died with its host; the restarted
+                # root seeds its prefix from a surviving receiver copy.
+                state.seed_prefix = True
             # Every ancestor must clear its partial result.
             parent_rank = state.slot.parent
             while parent_rank is not None:
@@ -987,4 +1071,20 @@ class ReduceExecution:
         if keep_assignment and state.output_entry is not None:
             host = state.host
             if host is not None and host.alive and not state.output_entry.sealed:
-                state.output_entry.reset_progress()
+                if (
+                    state.slot.parent is None
+                    and self.num_objects == len(self.source_ids)
+                ):
+                    # Streaming recovery (carried ROADMAP item): with no
+                    # spare sources every failed contributor is reconstructed
+                    # from lineage with identical data, so the root's
+                    # already-reduced prefix stays valid.  Keep it — the
+                    # restarted root resumes at ``blocks_ready`` and the
+                    # receivers that kept those blocks stream the repaired
+                    # target incrementally instead of paying a full
+                    # re-broadcast.  (With spare sources the replacement may
+                    # be a *different* object, so the prefix must go.)
+                    state.output_entry.freeze_progress()
+                    self.runtime.root_progress_preserved += 1
+                else:
+                    state.output_entry.reset_progress()

@@ -12,6 +12,12 @@ from repro.sim import Process
 from repro.store.object_store import LocalObjectStore
 from repro.store.objects import ObjectID
 
+#: module-level hook called with every new :class:`HopliteRuntime` — the same
+#: idiom as ``repro.net.cluster.ON_CREATE``.  The fuzz harness uses it to
+#: reach the runtime (for control-plane fault injection) without threading a
+#: parameter through every scenario constructor.
+ON_CREATE = None
+
 
 class NodeObjectManager:
     """Per-node bookkeeping that is not part of the store itself.
@@ -105,10 +111,16 @@ class HopliteRuntime:
         self.active_reductions: dict[ObjectID, object] = {}
         #: number of Reduce calls answered by adopting an in-flight execution.
         self.reduce_adoptions = 0
+        #: streaming reduce recovery: repairs that kept the root's reduced
+        #: prefix, and restarted roots seeded from a surviving receiver copy.
+        self.root_progress_preserved = 0
+        self.root_prefix_seeds = 0
         #: monotone nonce for hierarchical-reduce intermediate object ids;
         #: per-runtime (not global) so repeated runs inside one process stay
         #: byte-for-byte reproducible.
         self.hierarchical_reduce_seq = 0
+        if ON_CREATE is not None:
+            ON_CREATE(self)
 
     # -- accessors -------------------------------------------------------------
     def store(self, node: Node | int) -> LocalObjectStore:

@@ -42,6 +42,57 @@ class DirectoryRecord:
     #: Used to restore a source if the receiver dies before releasing it.
     checked_out: dict[int, LocationInfo] = field(default_factory=dict)
     deleted: bool = False
+    #: index of the shard that owns this record (assigned once at creation;
+    #: CRC placement is stable, so it never changes).
+    shard: int = 0
+
+
+class DirectoryShard:
+    """One hash-shard of the directory: a service task on a host node.
+
+    The shard is the directory's unit of failure: :meth:`ObjectDirectory.
+    fail_shard` wipes its volatile state (the records it owns) and spawns a
+    recovery task that — after the failure-detection delay — fails the shard
+    over to an alive host if needed and replays its write-ahead log
+    (checkpoint + tail) to reconstruct exactly the state the kill destroyed.
+    Requests to a dead shard park on ``recovery_event`` inside the RPC path,
+    so clients see a stall, never an error or a job restart.
+    """
+
+    __slots__ = (
+        "shard_id",
+        "node",
+        "alive",
+        "incarnation",
+        "recovery_event",
+        "wal",
+        "backlog",
+        "failovers",
+        "last_replay_applied",
+        "replay_self_check",
+        "_appends_at_kill",
+        "_pre_kill_digest",
+    )
+
+    def __init__(self, shard_id: int, node: Node, sim):
+        self.shard_id = shard_id
+        self.node = node
+        self.alive = True
+        self.incarnation = 0
+        self.recovery_event = Event(sim)
+        self.wal: Optional[object] = None  # attached by the directory
+        #: requests parked during the current downtime; the replayed shard
+        #: answers them serially, one service quantum apart, in parking order.
+        self.backlog = 0
+        self.failovers = 0
+        self.last_replay_applied = 0
+        #: outcome of the post-replay state self-check: True/False when the
+        #: check ran (no WAL appends landed during the downtime, so replayed
+        #: state must equal pre-kill state bit for bit), None when appends
+        #: during downtime made the comparison meaningless.
+        self.replay_self_check: Optional[bool] = None
+        self._appends_at_kill = 0
+        self._pre_kill_digest: Optional[str] = None
 
 
 class ObjectDirectory:
@@ -74,6 +125,32 @@ class ObjectDirectory:
         self.shard_nodes: list[Node] = [
             cluster.nodes[shard % len(cluster.nodes)] for shard in range(num_shards)
         ]
+        # Deferred import: repro.tasksys re-exports the orchestrator, whose
+        # import chain leads back here through repro.core.runtime; by
+        # directory-construction time every module is fully initialized.
+        from repro.tasksys.wal import WriteAheadLog
+
+        #: the shard service tasks; each owns a WAL so its death is
+        #: recoverable by replay (see :class:`DirectoryShard`).
+        self.shards: list[DirectoryShard] = [
+            DirectoryShard(shard_id, node, self.sim)
+            for shard_id, node in enumerate(self.shard_nodes)
+        ]
+        for shard in self.shards:
+            shard.wal = WriteAheadLog(
+                self.sim,
+                f"dirshard-{shard.shard_id}",
+                snapshot_fn=(
+                    lambda shard_id=shard.shard_id: self._snapshot_shard(shard_id)
+                ),
+                on_append=(
+                    lambda record, shard=shard: self._on_wal_append(shard, record)
+                ),
+                on_checkpoint=(
+                    lambda seq, shard=shard: self._on_wal_checkpoint(shard, seq)
+                ),
+            )
+        self.shard_kills = 0
         self.records: dict[ObjectID, DirectoryRecord] = {}
         self.lookup_count = 0
         self.publish_count = 0
@@ -96,22 +173,29 @@ class ObjectDirectory:
             node.on_failure(self._on_node_failure)
 
     # -- plumbing -------------------------------------------------------------
-    def _shard_node(self, object_id: ObjectID) -> Node:
+    def _shard_index(self, object_id: ObjectID) -> int:
         # CRC32 rather than hash() so shard placement is stable across runs
         # (Python's string hash is randomized per process).
-        shard = zlib.crc32(object_id.key.encode("utf-8")) % len(self.shard_nodes)
-        return self.shard_nodes[shard]
+        return zlib.crc32(object_id.key.encode("utf-8")) % len(self.shards)
+
+    def _shard_of(self, object_id: ObjectID) -> DirectoryShard:
+        return self.shards[self._shard_index(object_id)]
+
+    def _shard_node(self, object_id: ObjectID) -> Node:
+        return self._shard_of(object_id).node
 
     def _rpc(self, requester: Node, object_id: ObjectID) -> Generator:
         """One control RPC from the requester to the object's shard.
 
-        The directory itself is assumed to be replicated by the framework
-        (Section 6), so a shard stays reachable even while the node that
-        hosts it is down; only the requester's own liveness matters.
+        A dead shard does not error the request: the requester parks on the
+        shard's recovery event and resumes once the shard's WAL replay
+        finishes, so a shard kill is a stall, never a failure the data plane
+        can observe.  Only the requester's own liveness aborts the RPC.
         """
         if not requester.alive:
             raise NodeFailedError(f"node {requester.node_id} is down", node=requester)
-        shard_node = self._shard_node(object_id)
+        shard = self._shard_of(object_id)
+        shard_node = shard.node
         if requester.node_id == shard_node.node_id:
             timeout = self.sim.timeout(self.config.rpc_latency / 4.0)
             loc = self.sim.locality
@@ -122,6 +206,9 @@ class ObjectDirectory:
             # Control-plane traffic rides the latency path (it never occupies
             # a bulk link slot) but is visible to the flow accounting.
             requester.uplink_sched.record_control()
+            obs = self.cluster.obs
+            if obs is not None:
+                obs.control_plane["shard_rpcs"].inc()
             timeout = self.sim.timeout(self.config.rpc_latency)
             loc = self.sim.locality
             if loc is not None:
@@ -136,15 +223,138 @@ class ObjectDirectory:
                 else:
                     loc.tag_sync_rpc(timeout)
             yield timeout
+        while not shard.alive:
+            # Take a position in the dead shard's backlog: the replayed shard
+            # answers parked requests *serially*, one service quantum apart,
+            # in parking order.  Without the stagger every parked continuation
+            # resumes at the same instant, the resumed chains then march in
+            # lockstep (identical hop latencies) and land same-instant link
+            # releases whose within-timestep order the coalescing fast paths
+            # do not preserve — admission of multi-link reservations would
+            # then depend on it.  A serial drain is also what a real replayed
+            # service does with its request queue.
+            position = shard.backlog
+            shard.backlog += 1
+            flight = self.cluster.flight
+            if flight is not None:
+                flight.phase(
+                    f"dirshard:{shard.shard_id}",
+                    f"rpc_parked/n{requester.node_id}/{object_id}",
+                )
+            while not shard.alive:
+                yield shard.recovery_event
+            yield self.sim.timeout(
+                (position + 1) * (self.config.rpc_latency / 64.0)
+            )
+            # Re-killed while draining: loop and take a fresh position.
         if not requester.alive:
             raise NodeFailedError(f"node {requester.node_id} is down", node=requester)
 
     def _record(self, object_id: ObjectID) -> DirectoryRecord:
         record = self.records.get(object_id)
         if record is None:
-            record = DirectoryRecord(object_id=object_id)
+            record = DirectoryRecord(
+                object_id=object_id, shard=self._shard_index(object_id)
+            )
             self.records[object_id] = record
         return record
+
+    # -- write-ahead logging ---------------------------------------------------
+    def _on_wal_append(self, shard: DirectoryShard, record) -> None:
+        obs = self.cluster.obs
+        if obs is not None:
+            obs.control_plane["wal_appends"].inc()
+        flight = self.cluster.flight
+        if flight is not None:
+            flight.phase(f"dirshard:{shard.shard_id}", f"wal_append/{record.kind}")
+
+    def _on_wal_checkpoint(self, shard: DirectoryShard, seq: int) -> None:
+        obs = self.cluster.obs
+        if obs is not None:
+            obs.control_plane["checkpoints"].inc()
+        flight = self.cluster.flight
+        if flight is not None:
+            flight.phase(f"dirshard:{shard.shard_id}", f"checkpoint/seq={seq}")
+
+    def _commit(self, record: DirectoryRecord, kind: str, data: tuple):
+        """Log one mutation to the owning shard's WAL, then apply it.
+
+        The WAL entry carries the *evaluated* effect (chosen source, restore
+        decision, dead set), so replay is a pure function of the log — it
+        never re-reads node liveness or re-runs source selection.
+        """
+        self.shards[record.shard].wal.append(kind, (record.object_id,) + data)
+        return self._apply(record, kind, data)
+
+    def _apply(self, record: DirectoryRecord, kind: str, data: tuple):
+        """Apply one logged mutation to a record: the live path and WAL
+        replay share this function, so replayed state cannot drift."""
+        if kind == "publish_partial":
+            node_id, size, upstream = data
+            record.size = size if record.size is None else record.size
+            existing = record.locations.get(node_id)
+            if existing is not None and existing.complete:
+                return None
+            record.locations[node_id] = LocationInfo(
+                node_id=node_id, complete=False, upstream=upstream
+            )
+        elif kind == "publish_complete":
+            node_id, size = data
+            record.size = size if record.size is None else record.size
+            record.locations[node_id] = LocationInfo(
+                node_id=node_id, complete=True, upstream=None
+            )
+        elif kind == "put_inline":
+            (value,) = data
+            record.size = value.size
+            record.inline_value = value
+        elif kind == "remove_location":
+            (node_id,) = data
+            record.locations.pop(node_id, None)
+        elif kind == "delete":
+            record.locations.clear()
+            record.inline_value = None
+            record.deleted = True
+        elif kind == "acquire":
+            requester_id, node_id, complete, upstream = data
+            chosen = record.locations.pop(node_id, None)
+            if chosen is None:  # replay into reconstructed state
+                chosen = LocationInfo(
+                    node_id=node_id, complete=complete, upstream=upstream
+                )
+            record.checked_out[requester_id] = chosen
+            existing = record.locations.get(requester_id)
+            if existing is None or not existing.complete:
+                record.locations[requester_id] = LocationInfo(
+                    node_id=requester_id, complete=False, upstream=node_id
+                )
+            return chosen
+        elif kind == "release":
+            requester_id, node_id, complete, upstream, restore, succeeded = data
+            record.checked_out.pop(requester_id, None)
+            if restore:
+                existing = record.locations.get(node_id)
+                if existing is None or not existing.complete:
+                    record.locations[node_id] = LocationInfo(
+                        node_id=node_id, complete=complete, upstream=upstream
+                    )
+            if succeeded:
+                record.locations[requester_id] = LocationInfo(
+                    node_id=requester_id, complete=True, upstream=None
+                )
+        elif kind == "purge":
+            node_id, dead = data
+            record.locations.pop(node_id, None)
+            checked_out = record.checked_out.pop(node_id, None)
+            if checked_out is not None:
+                if (
+                    checked_out.node_id not in dead
+                    and checked_out.node_id not in record.locations
+                ):
+                    record.locations[checked_out.node_id] = checked_out
+        else:  # pragma: no cover - programming error
+            raise ValueError(f"unknown directory WAL op {kind!r}")
+        return None
 
     def _notify_waiters(self, record: DirectoryRecord) -> None:
         prof = self.sim.host_prof
@@ -214,13 +424,11 @@ class ObjectDirectory:
         yield from self._rpc(requester, object_id)
         self.publish_count += 1
         record = self._record(object_id)
-        record.size = size if record.size is None else record.size
         existing = record.locations.get(requester.node_id)
-        if existing is not None and existing.complete:
+        already_complete = existing is not None and existing.complete
+        self._commit(record, "publish_partial", (requester.node_id, size, upstream))
+        if already_complete:
             return
-        record.locations[requester.node_id] = LocationInfo(
-            node_id=requester.node_id, complete=False, upstream=upstream
-        )
         self._notify_waiters(record)
 
     def publish_complete(self, requester: Node, object_id: ObjectID, size: int) -> Generator:
@@ -228,10 +436,7 @@ class ObjectDirectory:
         yield from self._rpc(requester, object_id)
         self.publish_count += 1
         record = self._record(object_id)
-        record.size = size if record.size is None else record.size
-        record.locations[requester.node_id] = LocationInfo(
-            node_id=requester.node_id, complete=True, upstream=None
-        )
+        self._commit(record, "publish_complete", (requester.node_id, size))
         self._notify_waiters(record)
 
     def put_inline(self, requester: Node, object_id: ObjectID, value: ObjectValue) -> Generator:
@@ -239,8 +444,7 @@ class ObjectDirectory:
         yield from self._rpc(requester, object_id)
         self.publish_count += 1
         record = self._record(object_id)
-        record.size = value.size
-        record.inline_value = value
+        self._commit(record, "put_inline", (value,))
         self._notify_waiters(record)
 
     def remove_location(self, requester: Node, object_id: ObjectID, node_id: int) -> Generator:
@@ -248,16 +452,14 @@ class ObjectDirectory:
         yield from self._rpc(requester, object_id)
         record = self.records.get(object_id)
         if record is not None:
-            record.locations.pop(node_id, None)
+            self._commit(record, "remove_location", (node_id,))
 
     def delete_object(self, requester: Node, object_id: ObjectID) -> Generator:
         """Drop every trace of the object (the ``Delete`` API)."""
         yield from self._rpc(requester, object_id)
         record = self.records.get(object_id)
         if record is not None:
-            record.locations.clear()
-            record.inline_value = None
-            record.deleted = True
+            self._commit(record, "delete", ())
 
     # -- lookups ---------------------------------------------------------------
     def try_get_inline(self, requester: Node, object_id: ObjectID) -> Generator:
@@ -507,15 +709,18 @@ class ObjectDirectory:
                     hold_for_rack = False
             if sources and not hold_for_rack:
                 chosen = sources[0]
-                del record.locations[chosen.node_id]
-                record.checked_out[requester.node_id] = chosen
-                existing = record.locations.get(requester.node_id)
-                if existing is None or not existing.complete:
-                    record.locations[requester.node_id] = LocationInfo(
-                        node_id=requester.node_id,
-                        complete=False,
-                        upstream=chosen.node_id,
-                    )
+                # The WAL entry carries the evaluated choice: replay must
+                # not re-run source selection against replayed state.
+                chosen = self._commit(
+                    record,
+                    "acquire",
+                    (
+                        requester.node_id,
+                        chosen.node_id,
+                        chosen.complete,
+                        chosen.upstream,
+                    ),
+                )
                 self._notify_waiters(record)
                 return chosen
             event = Event(self.sim)
@@ -547,31 +752,41 @@ class ObjectDirectory:
         """
         yield from self._rpc(requester, object_id)
         record = self._record(object_id)
-        record.checked_out.pop(requester.node_id, None)
-        source_node = self.cluster.nodes[source.node_id]
-        if source_node.alive:
-            existing = record.locations.get(source.node_id)
-            if existing is None or not existing.complete:
-                record.locations[source.node_id] = LocationInfo(
-                    node_id=source.node_id,
-                    complete=source.complete,
-                    upstream=source.upstream,
-                )
-        if succeeded:
-            record.locations[requester.node_id] = LocationInfo(
-                node_id=requester.node_id, complete=True, upstream=None
-            )
+        restore = self.cluster.nodes[source.node_id].alive
+        self._commit(
+            record,
+            "release",
+            (
+                requester.node_id,
+                source.node_id,
+                source.complete,
+                source.upstream,
+                restore,
+                succeeded,
+            ),
+        )
         self._notify_waiters(record)
 
     # -- failure handling -----------------------------------------------------------
     def _on_node_failure(self, node: Node) -> None:
         """Purge every location hosted by a failed node.
 
-        Shard state itself is assumed to be replicated by the framework
-        (Section 6, "Framework's fault tolerance"), so shard placement does
-        not change.
+        A *data-plane* node failure does not take its shard down with it:
+        shard death is its own injected fault class (:meth:`fail_shard`),
+        so every pre-existing failure scenario keeps its exact schedule.
+        The purge is logged to every shard's WAL with the evaluated dead
+        set — a purge that lands while a shard is down mutates nothing live
+        (the state is already wiped) but replays in order during recovery,
+        which is what makes replayed state the real post-downtime truth.
         """
+        dead = tuple(
+            sorted(n.node_id for n in self.cluster.nodes if not n.alive)
+        )
+        for shard in self.shards:
+            shard.wal.append("purge", (node.node_id, dead))
         for record in self.records.values():
+            if not self.shards[record.shard].alive:
+                continue
             record.locations.pop(node.node_id, None)
             # If the failed node had checked out a source for an in-flight
             # fetch, put that source back so other receivers can still use it.
@@ -582,3 +797,208 @@ class ObjectDirectory:
                     record.locations[checked_out.node_id] = checked_out
             if record.locations or record.inline_value is not None:
                 self._notify_waiters(record)
+
+    # -- shard failure: the control-plane fault class ---------------------------
+    def _wipe_record(self, record: DirectoryRecord) -> None:
+        """Drop a record's volatile state; parked waiters stay attached."""
+        record.size = None
+        record.locations.clear()
+        record.inline_value = None
+        record.checked_out.clear()
+        record.deleted = False
+
+    def _snapshot_shard(self, shard_id: int) -> tuple:
+        """An immutable snapshot of every record the shard owns."""
+        snapshot = []
+        for object_id, record in self.records.items():
+            if record.shard != shard_id:
+                continue
+            snapshot.append(
+                (
+                    object_id,
+                    record.size,
+                    record.inline_value,
+                    record.deleted,
+                    tuple(
+                        (info.node_id, info.complete, info.upstream)
+                        for info in record.locations.values()
+                    ),
+                    tuple(
+                        (requester_id, info.node_id, info.complete, info.upstream)
+                        for requester_id, info in record.checked_out.items()
+                    ),
+                )
+            )
+        return tuple(snapshot)
+
+    def _restore_shard(self, shard_id: int, snapshot) -> None:
+        """Load a checkpoint snapshot back into the live record table."""
+        for record in self.records.values():
+            if record.shard == shard_id:
+                self._wipe_record(record)
+        for object_id, size, inline_value, deleted, locations, checked_out in (
+            snapshot or ()
+        ):
+            record = self._record(object_id)
+            record.size = size
+            record.inline_value = inline_value
+            record.deleted = deleted
+            record.locations = {
+                node_id: LocationInfo(
+                    node_id=node_id, complete=complete, upstream=upstream
+                )
+                for node_id, complete, upstream in locations
+            }
+            record.checked_out = {
+                requester_id: LocationInfo(
+                    node_id=node_id, complete=complete, upstream=upstream
+                )
+                for requester_id, node_id, complete, upstream in checked_out
+            }
+
+    def _replay_record(self, shard: DirectoryShard, wal_record) -> None:
+        """Re-apply one WAL record during shard recovery."""
+        if wal_record.kind == "purge":
+            node_id, dead = wal_record.data
+            for record in self.records.values():
+                if record.shard == shard.shard_id:
+                    self._apply(record, "purge", (node_id, dead))
+            return
+        object_id = wal_record.data[0]
+        record = self._record(object_id)
+        self._apply(record, wal_record.kind, wal_record.data[1:])
+
+    def _shard_digest(self, shard_id: int) -> str:
+        """Deterministic digest of a shard's state (replay self-checks)."""
+        parts = []
+        for object_id, record in self.records.items():
+            if record.shard != shard_id:
+                continue
+            parts.append(
+                (
+                    object_id.key,
+                    record.size,
+                    record.deleted,
+                    None
+                    if record.inline_value is None
+                    else record.inline_value.size,
+                    tuple(
+                        (info.node_id, info.complete, info.upstream)
+                        for info in record.locations.values()
+                    ),
+                    tuple(
+                        (requester_id, info.node_id, info.complete, info.upstream)
+                        for requester_id, info in record.checked_out.items()
+                    ),
+                )
+            )
+        return hashlib.sha256(repr(parts).encode("utf-8")).hexdigest()
+
+    def fail_shard(self, shard_id: int) -> None:
+        """Kill one directory shard: its volatile state is lost *now*.
+
+        Every record the shard owns is wiped in place (record identity and
+        table order are preserved — clients hold references across yields);
+        requests park in :meth:`_rpc` until the spawned recovery task brings
+        the shard back by WAL replay.  Auto-checkpointing freezes for the
+        downtime so no snapshot of wiped state can be taken.
+        """
+        shard = self.shards[shard_id]
+        if not shard.alive:
+            return
+        shard.alive = False
+        shard.incarnation += 1
+        shard.backlog = 0
+        shard.recovery_event = Event(self.sim)
+        shard.wal.frozen = True
+        shard._appends_at_kill = shard.wal.appends
+        shard._pre_kill_digest = self._shard_digest(shard_id)
+        shard.replay_self_check = None
+        self.shard_kills += 1
+        flight = self.cluster.flight
+        if flight is not None:
+            flight.phase(
+                f"dirshard:{shard_id}", f"kill/incarnation={shard.incarnation}"
+            )
+        for record in self.records.values():
+            if record.shard == shard_id:
+                self._wipe_record(record)
+        self.sim.process(
+            self._recover_shard(shard), name=f"dirshard-{shard_id}-recovery"
+        )
+
+    def _recover_shard(self, shard: DirectoryShard) -> Generator:
+        """Detect, fail over if the host died, replay the WAL, come back."""
+        yield self.sim.timeout(self.config.failure_detection_delay)
+        flight = self.cluster.flight
+        if not shard.node.alive:
+            alive = self.cluster.alive_nodes()
+            if alive:
+                num_nodes = len(self.cluster.nodes)
+                start = shard.node.node_id
+                new_host = min(
+                    alive,
+                    key=lambda n: ((n.node_id - start) % num_nodes, n.node_id),
+                )
+                old_id = shard.node.node_id
+                shard.node = new_host
+                self.shard_nodes[shard.shard_id] = new_host
+                shard.failovers += 1
+                if flight is not None:
+                    flight.phase(
+                        f"dirshard:{shard.shard_id}",
+                        f"shard_failover/{old_id}->{new_host.node_id}",
+                    )
+        if flight is not None:
+            flight.phase(f"dirshard:{shard.shard_id}", "replay_begin")
+        applied = shard.wal.replay(
+            lambda snapshot: self._restore_shard(shard.shard_id, snapshot),
+            lambda wal_record: self._replay_record(shard, wal_record),
+        )
+        shard.last_replay_applied = applied
+        # Replay cost: one RPC to load the checkpoint plus a quarter-latency
+        # per tail record re-applied — deterministic, so recovered runs stay
+        # byte-reproducible.
+        yield self.sim.timeout(
+            self.config.rpc_latency * (1.0 + 0.25 * applied)
+        )
+        shard.alive = True
+        shard.wal.frozen = False
+        if shard.wal.appends == shard._appends_at_kill:
+            # Nothing happened during the downtime: replayed state must be
+            # bit-identical to what the kill destroyed.
+            shard.replay_self_check = (
+                self._shard_digest(shard.shard_id) == shard._pre_kill_digest
+            )
+        obs = self.cluster.obs
+        if obs is not None:
+            obs.control_plane["replays"].inc()
+        if flight is not None:
+            flight.phase(
+                f"dirshard:{shard.shard_id}", f"replay_end/applied={applied}"
+            )
+        shard.recovery_event.succeed(shard)
+        # Deferred waiter notifications drain serially *after* the parked RPC
+        # backlog, continuing its slot sequence, so no two recovery-driven
+        # continuations resume at the same instant (see the stagger rationale
+        # in :meth:`_rpc`).  ``shard.backlog`` is final here: any request that
+        # arrives after ``alive`` flipped above never parks.
+        pending = [
+            record
+            for record in self.records.values()
+            if record.shard == shard.shard_id
+            and (record.locations or record.inline_value is not None)
+            and (record.waiters or record.availability_waiters)
+        ]
+        quantum = self.config.rpc_latency / 64.0
+        base = self.sim.now
+        slot = shard.backlog + 1
+        for record in pending:
+            wake = Event(self.sim)
+            self.sim.schedule_at(wake, base + slot * quantum)
+            yield wake
+            slot += 1
+            if not shard.alive:
+                # Re-killed mid-drain; the new recovery owns the rest.
+                return
+            self._notify_waiters(record)

@@ -128,6 +128,17 @@ class Observability:
         control_family = self.registry.counter(
             "control_messages", "control-plane RPCs sent", ("link", "tier")
         )
+        control_plane_family = self.registry.counter(
+            "control_plane_ops",
+            "durability-layer operations: WAL appends, checkpoints, "
+            "replays, cross-shard directory RPCs",
+            ("op",),
+        )
+        #: pre-built children for the control-plane durability hot paths.
+        self.control_plane = {
+            op: control_plane_family.labels(op=op)
+            for op in ("wal_appends", "checkpoints", "replays", "shard_rpcs")
+        }
 
         # -- install ------------------------------------------------------
         for node in cluster.nodes:

@@ -124,6 +124,23 @@ class StoredObject:
         self._cancel_inflight()
         self._blocks_ready = 0
 
+    def freeze_progress(self) -> None:
+        """Detach any coalesced stream, keeping the blocks delivered so far.
+
+        The dual of :meth:`reset_progress`, used by the streaming reduce
+        recovery: when a repair decides the prefix written so far stays
+        valid, the (about-to-be-interrupted) producing run must stop
+        delivering future marks, but everything that arrived by now remains
+        readable and every attached waiter stays attached.
+        """
+        if self.sealed or self._inflight is None:
+            return
+        ready = self.blocks_ready
+        self._cancel_inflight()
+        if ready > self._blocks_ready:
+            self._blocks_ready = ready
+        self._notify_progress()
+
     def _cancel_inflight(self) -> None:
         """Stop a coalesced stream writing this copy and drop its future marks.
 

@@ -44,6 +44,7 @@ import numpy as np
 
 from repro.core.runtime import LocalOrchestration
 from repro.net.transport import TransferError
+from repro.sim import Event
 from repro.store.objects import ObjectID, ObjectValue
 from repro.tasksys.lineage import (
     CollectiveSpec,
@@ -52,6 +53,7 @@ from repro.tasksys.lineage import (
 )
 from repro.tasksys.refs import ObjectRef
 from repro.tasksys.system import TaskSystem
+from repro.tasksys.wal import WriteAheadLog
 
 #: logical size of a driver task's output marker: small enough for the
 #: inline fast path, so outcome collection costs no bandwidth.
@@ -84,7 +86,7 @@ def _as_output(arrays) -> ObjectValue:
 
 def _producer_share(ctx, orch: "CollectiveOrchestrator", spec_id: str, rank: int):
     """Re-``Put`` the rank's source objects (skipping survivors)."""
-    spec = orch.lineage.spec(spec_id)
+    spec = yield from orch.lookup_spec(spec_id)
     for object_id in spec.sources.get(rank, ()):
         if orch.object_available(object_id):
             orch.metrics["source_adoptions"] += 1
@@ -95,7 +97,7 @@ def _producer_share(ctx, orch: "CollectiveOrchestrator", spec_id: str, rank: int
 
 def _broadcast_root_share(ctx, orch: "CollectiveOrchestrator", spec_id: str):
     """Produce the broadcast object — on *any* alive node, from lineage."""
-    spec = orch.lineage.spec(spec_id)
+    spec = yield from orch.lookup_spec(spec_id)
     (object_id,) = spec.sources[spec.root]
     if orch.object_available(object_id):
         orch.metrics["root_adoptions"] += 1
@@ -114,7 +116,7 @@ def _reduce_root_share(ctx, orch: "CollectiveOrchestrator", spec_id: str):
     registry), so the surviving partials keep streaming instead of being
     recomputed.
     """
-    spec = orch.lineage.spec(spec_id)
+    spec = yield from orch.lookup_spec(spec_id)
     target_id = spec.targets[spec.root]
     if orch.object_available(target_id):
         orch.metrics["root_adoptions"] += 1
@@ -128,7 +130,7 @@ def _reduce_root_share(ctx, orch: "CollectiveOrchestrator", spec_id: str):
 
 def _get_share(ctx, orch: "CollectiveOrchestrator", spec_id: str, rank: int):
     """Fetch the rank's receive set one by one (broadcast / allreduce)."""
-    spec = orch.lineage.spec(spec_id)
+    spec = yield from orch.lookup_spec(spec_id)
     arrays = []
     for object_id in spec.recvs.get(rank, ()):
         value = yield from ctx.get(object_id)
@@ -138,7 +140,7 @@ def _get_share(ctx, orch: "CollectiveOrchestrator", spec_id: str, rank: int):
 
 def _allgather_share(ctx, orch: "CollectiveOrchestrator", spec_id: str, rank: int):
     """Gather every participant's object with the windowed rotation."""
-    spec = orch.lineage.spec(spec_id)
+    spec = yield from orch.lookup_spec(spec_id)
     result = yield from ctx.plane.allgather(ctx.node, list(spec.recvs[rank]))
     return _as_output(
         [None if v.payload is None else v.as_array() for v in result.values]
@@ -147,7 +149,7 @@ def _allgather_share(ctx, orch: "CollectiveOrchestrator", spec_id: str, rank: in
 
 def _reduce_scatter_share(ctx, orch: "CollectiveOrchestrator", spec_id: str, rank: int):
     """Reduce the rank's shard column into its target."""
-    spec = orch.lineage.spec(spec_id)
+    spec = yield from orch.lookup_spec(spec_id)
     target_id = spec.targets[rank]
     if orch.object_available(target_id):
         orch.metrics["target_adoptions"] += 1
@@ -162,7 +164,7 @@ def _reduce_scatter_share(ctx, orch: "CollectiveOrchestrator", spec_id: str, ran
 
 def _alltoall_share(ctx, orch: "CollectiveOrchestrator", spec_id: str, rank: int):
     """Exchange the rank's row and column of the alltoall matrix."""
-    spec = orch.lineage.spec(spec_id)
+    spec = yield from orch.lookup_spec(spec_id)
     sends = [
         (object_id, spec.payload_of(object_id))
         for object_id in spec.sources.get(rank, ())
@@ -212,10 +214,14 @@ class _RecordingOrchestration(LocalOrchestration):
         return self.sim.process(generator, name=name)
 
     def record_partial(self, parent_id, partial_id, node_id=None) -> None:
-        self.orchestrator.ownership.record_partial(parent_id, partial_id, node_id)
+        orchestrator = self.orchestrator
+        orchestrator.wal.append("partial", (parent_id, partial_id, node_id))
+        orchestrator.ownership.record_partial(parent_id, partial_id, node_id)
 
     def record_copy(self, object_id, node_id) -> None:
-        self.orchestrator.ownership.record_copy(object_id, node_id)
+        orchestrator = self.orchestrator
+        orchestrator.wal.append("copy", (object_id, node_id))
+        orchestrator.ownership.record_copy(object_id, node_id)
 
 
 class CollectiveOrchestrator:
@@ -249,9 +255,30 @@ class CollectiveOrchestrator:
             "root_adoptions": 0,
             "target_adoptions": 0,
             "source_adoptions": 0,
+            "control_plane_kills": 0,
+            "control_plane_resubmissions": 0,
         }
         #: spec_id -> collective-internal driver processes spawned for it.
         self.driver_processes_by_spec: Dict[str, int] = {}
+        #: specs whose invocation finished (recovery never re-submits these).
+        self.completed: set = set()
+        #: the lineage/ownership services' liveness: the control plane is
+        #: itself a failure domain (see :meth:`kill_control_plane`).
+        self.control_alive = True
+        self.control_incarnation = 0
+        self.control_backlog = 0
+        self.control_recovery_event = Event(self.sim)
+        #: durable intent: every spec registration, submission, completion
+        #: and dynamic ownership record lands here before it matters, so
+        #: :meth:`replay_after_restart` can rebuild the whole orchestration
+        #: state from checkpoint + tail.
+        self.wal = WriteAheadLog(
+            self.sim,
+            "control-plane",
+            snapshot_fn=self._snapshot,
+            on_append=self._on_wal_append,
+            on_checkpoint=self._on_wal_checkpoint,
+        )
         runtime = getattr(self.plane, "runtime", None)
         if runtime is not None:
             runtime.orchestration = _RecordingOrchestration(self)
@@ -270,9 +297,13 @@ class CollectiveOrchestrator:
     # -- registration ---------------------------------------------------------
     def register(self, spec: CollectiveSpec) -> None:
         """Record the spec durably and declare its objects' ownership."""
-        if spec.spec_id not in self.lineage:
+        is_new = spec.spec_id not in self.lineage
+        previous = None if is_new else self.lineage.spec(spec.spec_id)
+        if is_new:
             self.ownership.register_spec(spec)
         self.lineage.record(spec)
+        if is_new or previous.incarnation != spec.incarnation:
+            self.wal.append("spec", (spec,))
 
     # -- submission -----------------------------------------------------------
     def submit(self, spec: CollectiveSpec) -> Dict[Tuple[str, int], ObjectRef]:
@@ -286,6 +317,7 @@ class CollectiveOrchestrator:
         """
         self.register(spec)
         self.lineage.note_submission(spec.spec_id)
+        self.wal.append("submit", (spec.spec_id,))
         refs: Dict[Tuple[str, int], ObjectRef] = {}
 
         def _task(role, body, rank, node, placement, kwargs):
@@ -382,6 +414,8 @@ class CollectiveOrchestrator:
                 results[rank] = value
         if root_span is not None:
             root_span.finish("ok")
+        self.completed.add(spec.spec_id)
+        self.wal.append("complete", (spec.spec_id,))
         if flight is not None:
             flight.phase(f"spec:{spec.spec_id}", "complete")
         return CollectiveOutcome(
@@ -404,3 +438,173 @@ class CollectiveOrchestrator:
                 return value
             except TransferError:
                 yield self.sim.timeout(delay)
+
+    # -- durability: the control plane as a failure domain ---------------------
+    def lookup_spec(self, spec_id: str) -> Generator:
+        """Task-side lineage read; parks while the control plane is down.
+
+        On the (overwhelmingly common) alive path this yields nothing and
+        schedules nothing — a plain dictionary read — so gating every driver
+        task body through it costs zero simulated events.  While the plane
+        is down the task parks on the recovery event and re-reads the spec
+        from the *replayed* log once recovery completes.
+
+        Parked lookups resume *serially*, one service quantum apart in
+        parking order — the replayed service drains its request backlog one
+        at a time.  The stagger also keeps recovery from resynchronizing
+        independent driver chains onto one instant (same rationale as the
+        directory shard's backlog drain).
+        """
+        while not self.control_alive:
+            position = self.control_backlog
+            self.control_backlog += 1
+            while not self.control_alive:
+                yield self.control_recovery_event
+            yield self.sim.timeout(
+                (position + 1) * (self.cluster.config.rpc_latency / 64.0)
+            )
+        return self.lineage.spec(spec_id)
+
+    def _on_wal_append(self, record) -> None:
+        obs = self.cluster.obs
+        if obs is not None:
+            obs.control_plane["wal_appends"].inc()
+        flight = self.cluster.flight
+        if flight is not None:
+            flight.phase("control-plane", f"wal_append/{record.kind}")
+
+    def _on_wal_checkpoint(self, seq: int) -> None:
+        obs = self.cluster.obs
+        if obs is not None:
+            obs.control_plane["checkpoints"].inc()
+        flight = self.cluster.flight
+        if flight is not None:
+            flight.phase("control-plane", f"checkpoint/seq={seq}")
+
+    def _snapshot(self):
+        """Checkpoint state: lineage, submissions, completions, ownership."""
+        ownership = self.ownership
+        return (
+            dict(self.lineage._specs),
+            dict(self.lineage.submissions),
+            set(self.completed),
+            dict(ownership._objects),
+            {spec_id: set(ids) for spec_id, ids in ownership._by_spec.items()},
+            {object_id: set(ids) for object_id, ids in ownership._copies.items()},
+        )
+
+    def _restore(self, snapshot) -> None:
+        self.lineage = LineageLog()
+        self.ownership = OwnershipTable()
+        self.completed = set()
+        if snapshot is None:
+            return
+        specs, submissions, completed, objects, by_spec, copies = snapshot
+        self.lineage._specs = dict(specs)
+        self.lineage.submissions = dict(submissions)
+        self.completed = set(completed)
+        self.ownership._objects = dict(objects)
+        self.ownership._by_spec = {
+            spec_id: set(ids) for spec_id, ids in by_spec.items()
+        }
+        self.ownership._copies = {
+            object_id: set(ids) for object_id, ids in copies.items()
+        }
+
+    def _replay_record(self, record) -> None:
+        kind = record.kind
+        if kind == "spec":
+            (spec,) = record.data
+            if spec.spec_id not in self.lineage:
+                self.ownership.register_spec(spec)
+            self.lineage.record(spec)
+        elif kind == "submit":
+            (spec_id,) = record.data
+            self.lineage.submissions[spec_id] = (
+                self.lineage.submissions.get(spec_id, 0) + 1
+            )
+        elif kind == "complete":
+            (spec_id,) = record.data
+            self.completed.add(spec_id)
+        elif kind == "partial":
+            parent_id, partial_id, node_id = record.data
+            self.ownership.record_partial(parent_id, partial_id, node_id)
+        elif kind == "copy":
+            object_id, node_id = record.data
+            self.ownership.record_copy(object_id, node_id)
+        else:  # pragma: no cover - programming error
+            raise ValueError(f"unknown control-plane WAL op {kind!r}")
+
+    def kill_control_plane(self) -> None:
+        """Kill the lineage/ownership services: their state is lost *now*.
+
+        The in-memory tables are wiped to fresh instances; driver tasks
+        reaching :meth:`lookup_spec` park until the spawned recovery task
+        replays the WAL.  Tasks already past their lookup keep running on
+        the spec references they hold — exactly the semantics of a service
+        process dying while its clients' RPCs were already answered.
+        """
+        if not self.control_alive:
+            return
+        self.control_alive = False
+        self.control_incarnation += 1
+        self.control_backlog = 0
+        self.control_recovery_event = Event(self.sim)
+        self.wal.frozen = True
+        self.metrics["control_plane_kills"] += 1
+        flight = self.cluster.flight
+        if flight is not None:
+            flight.phase(
+                "control-plane", f"kill/incarnation={self.control_incarnation}"
+            )
+        self.lineage = LineageLog()
+        self.ownership = OwnershipTable()
+        self.completed = set()
+        self.sim.process(
+            self._recover_control_plane(), name="control-plane-recovery"
+        )
+
+    def replay_after_restart(self) -> Tuple[int, int]:
+        """Rebuild orchestration state from the WAL; resume in-flight specs.
+
+        Returns ``(tail_records_applied, specs_resubmitted)``.  Every spec
+        that had been submitted but not completed at the kill is re-submitted
+        at its last durable incarnation — the task system's ``(key,
+        incarnation)`` dedup turns that into adoption of surviving driver
+        tasks rather than duplicate work, which is what "resume, don't
+        restart" means operationally.
+        """
+        applied = self.wal.replay(self._restore, self._replay_record)
+        resubmitted = 0
+        for spec in list(self.lineage):
+            if spec.spec_id in self.completed:
+                continue
+            if self.lineage.submissions.get(spec.spec_id, 0) == 0:
+                continue
+            self.submit(spec)
+            resubmitted += 1
+        self.metrics["control_plane_resubmissions"] += resubmitted
+        return applied, resubmitted
+
+    def _recover_control_plane(self) -> Generator:
+        yield self.sim.timeout(self.system.failure_detection_delay)
+        flight = self.cluster.flight
+        if flight is not None:
+            flight.phase("control-plane", "replay_begin")
+        applied, resubmitted = self.replay_after_restart()
+        # Deterministic replay cost: one RPC to load the checkpoint plus a
+        # quarter-latency per tail record re-applied.
+        yield self.sim.timeout(
+            self.cluster.config.rpc_latency * (1.0 + 0.25 * applied)
+        )
+        self.control_alive = True
+        self.wal.frozen = False
+        obs = self.cluster.obs
+        if obs is not None:
+            obs.control_plane["replays"].inc()
+        if flight is not None:
+            flight.phase(
+                "control-plane",
+                f"replay_end/applied={applied}/resubmitted={resubmitted}",
+            )
+        self.control_recovery_event.succeed(self)

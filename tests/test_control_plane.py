@@ -1,0 +1,467 @@
+"""The control plane as a failure domain: WAL durability, shard kills, replay.
+
+Covers the durability layer end to end:
+
+* the canonical JSON-safe wire form of WAL records (every payload type a
+  control-plane op can carry round-trips bit-exactly);
+* checkpoint mechanics: automatic folding at the interval, tail truncation,
+  the frozen-while-down discipline, and ``upto_seq``-bounded replay;
+* directory-shard kills mid-collective: the collective completes without a
+  job restart, replay reconstructs the wiped records (checkpoint + tail),
+  and the shard's post-replay self-check finds the state digest-identical;
+* a crash-at-every-boundary sweep: the kill lands after each stride of the
+  unkilled run's WAL append history and the collective must complete at
+  every point;
+* lineage/ownership kills through the orchestrator: in-flight specs resume
+  from their last durable incarnation via ``replay_after_restart``;
+* the streaming-allreduce recovery satellites (root progress preserved on a
+  contributor loss, root prefix seeded back from a receiver on root loss);
+* the ``control_plane_ops`` metrics family through the exporters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.collectives.plane import HoplitePlane
+from repro.core.runtime import HopliteRuntime
+from repro.net.cluster import Cluster
+from repro.net.config import NetworkConfig
+from repro.obs.export import to_json
+from repro.store.objects import ObjectID, ObjectValue, ReduceOp, reset_id_counter
+from repro.tasksys import (
+    CollectiveOrchestrator,
+    CollectiveSpec,
+    TaskSystem,
+)
+from repro.tasksys.wal import (
+    WalRecord,
+    WriteAheadLog,
+    from_wire,
+    record_from_wire,
+    record_to_wire,
+    to_wire,
+)
+
+MB = 1024 * 1024
+NET = dict(bandwidth=1.25e8)  # 1 Gbps: collectives run long enough to kill into
+
+
+class _Clock:
+    def __init__(self):
+        self._now = 0.0
+
+
+# ---------------------------------------------------------------------------
+# Wire form round-trips
+# ---------------------------------------------------------------------------
+
+
+def test_wal_record_wire_round_trip_all_payload_types():
+    import json
+
+    reset_id_counter()
+    payload = (
+        None,
+        True,
+        7,
+        2.5,
+        "tag",
+        b"\x00\xff",
+        np.arange(6, dtype=np.float64).reshape(2, 3),
+        (1, ("nested", 2)),
+        [1, 2, [3]],
+        {("a", 1): ObjectID.unique("k"), 2: "v"},
+        ReduceOp.MAX,
+        ObjectValue.from_array(np.full(3, 4.0), logical_size=8 * MB),
+    )
+    record = WalRecord(seq=11, time=0.125, kind="mixed", data=payload)
+    wire = record_to_wire(record)
+    # The wire form must be plain JSON-safe data.
+    json.dumps(wire)
+    back = record_from_wire(wire)
+    assert (back.seq, back.time, back.kind) == (11, 0.125, "mixed")
+    assert back.data[0] is None
+    assert back.data[1] is True and back.data[2] == 7 and back.data[3] == 2.5
+    assert back.data[4] == "tag" and back.data[5] == b"\x00\xff"
+    assert np.array_equal(back.data[6], payload[6])
+    assert back.data[7] == (1, ("nested", 2))
+    assert back.data[8] == [1, 2, [3]]
+    assert back.data[9] == payload[9]
+    assert back.data[10] is ReduceOp.MAX
+    assert back.data[11].size == payload[11].size
+    assert np.array_equal(back.data[11].payload, payload[11].payload)
+
+
+def test_collective_spec_wire_round_trip():
+    reset_id_counter()
+    ranks = list(range(3))
+    sources = {i: ObjectID.unique(f"w-src{i}") for i in ranks}
+    spec = CollectiveSpec.reduce(
+        "wire-spec",
+        0,
+        ranks,
+        sources,
+        ObjectID.unique("w-target"),
+        {sources[i]: ObjectValue.from_array(np.full(2, float(i)), logical_size=MB)
+         for i in ranks},
+        ReduceOp.SUM,
+        allreduce=True,
+    )
+    back = from_wire(to_wire(spec))
+    assert back.spec_id == spec.spec_id
+    assert back.kind == spec.kind
+    assert back.participants == spec.participants
+    assert back.root == spec.root
+    assert back.op is spec.op
+    assert back.sources == spec.sources
+    assert back.targets == spec.targets
+    assert back.incarnation == spec.incarnation
+    assert set(back.payloads) == set(spec.payloads)
+
+
+def test_wire_form_rejects_unknown_types():
+    with pytest.raises(TypeError):
+        to_wire(object())
+    with pytest.raises(TypeError):
+        from_wire({"__not_a_tag__": 1})
+
+
+# ---------------------------------------------------------------------------
+# WAL mechanics
+# ---------------------------------------------------------------------------
+
+
+def _counter_wal(interval=4):
+    """A WAL owning a simple add-only counter dict, for mechanics tests."""
+    state = {"applied": {}}
+    wal = WriteAheadLog(
+        _Clock(),
+        "test",
+        checkpoint_interval=interval,
+        snapshot_fn=lambda: dict(state["applied"]),
+    )
+
+    def restore(snapshot):
+        state["applied"] = {} if snapshot is None else dict(snapshot)
+
+    def apply(record):
+        key, amount = record.data
+        state["applied"][key] = state["applied"].get(key, 0) + amount
+
+    return wal, state, restore, apply
+
+
+def test_wal_auto_checkpoint_truncates_tail():
+    wal, state, restore, apply = _counter_wal(interval=4)
+    for i in range(10):
+        # Mutate-then-log: the snapshot a checkpoint takes inside append()
+        # must already cover the record being appended.
+        key = f"k{i % 3}"
+        state["applied"][key] = state["applied"].get(key, 0) + 1
+        wal.append("add", (key, 1))
+    # Two automatic checkpoints fired (at 4 and 8 appends); the tail holds
+    # only the records after the last fold.
+    assert wal.checkpoints == 2
+    assert wal.checkpoint_seq == 8
+    assert [r.seq for r in wal.tail] == [8, 9]
+    live = dict(state["applied"])
+    state["applied"] = {}
+    applied = wal.replay(restore, apply)
+    assert applied == 2
+    assert state["applied"] == live
+
+
+def test_wal_frozen_suspends_checkpoints_and_replay_is_bounded():
+    wal, state, restore, apply = _counter_wal(interval=4)
+    for i in range(3):
+        apply(wal.append("add", ("k", 1)))
+    wal.frozen = True
+    # Appends still land while the owner is down (the world keeps mutating)
+    # but no snapshot of wiped state can ever be taken.
+    for i in range(4):
+        wal.append("add", ("k", 1))
+    assert wal.checkpoints == 0
+    with pytest.raises(ValueError):
+        wal.checkpoint()
+    # Bounded replay re-applies exactly the records durable before seq 5.
+    state["applied"] = {"junk": 99}
+    applied = wal.replay(restore, apply, upto_seq=5)
+    assert applied == 5
+    assert state["applied"] == {"k": 5}
+    wal.frozen = False
+    wal.checkpoint()
+    assert wal.tail == [] and wal.checkpoint_seq == 7
+
+
+# ---------------------------------------------------------------------------
+# Shared collective harness
+# ---------------------------------------------------------------------------
+
+
+def _build(num_nodes=5):
+    reset_id_counter()
+    cluster = Cluster(num_nodes=num_nodes, network=NetworkConfig(**NET))
+    runtime = HopliteRuntime(cluster)
+    system = TaskSystem(cluster, HoplitePlane(runtime))
+    orchestrator = CollectiveOrchestrator(system)
+    return cluster, runtime, system, orchestrator
+
+
+def _allgather_spec(tag, num_nodes, nbytes):
+    ranks = list(range(num_nodes))
+    sources = {i: ObjectID.unique(f"{tag}-src{i}") for i in ranks}
+    return CollectiveSpec.allgather(
+        tag,
+        ranks,
+        sources,
+        {sources[i]: ObjectValue.from_array(np.full(2, float(i + 1)), logical_size=nbytes)
+         for i in ranks},
+    )
+
+
+def _allreduce_spec(tag, num_nodes, nbytes):
+    ranks = list(range(num_nodes))
+    sources = {i: ObjectID.unique(f"{tag}-src{i}") for i in ranks}
+    return CollectiveSpec.reduce(
+        tag,
+        0,
+        ranks,
+        sources,
+        ObjectID.unique(f"{tag}-target"),
+        {sources[i]: ObjectValue.from_array(np.full(4, float(i + 1)), logical_size=nbytes)
+         for i in ranks},
+        ReduceOp.SUM,
+        allreduce=True,
+    )
+
+
+def _invoke(cluster, orchestrator, spec, budget=240.0, kills=()):
+    """Run one collective; ``kills`` is a list of (at, thunk) injections."""
+    sim = cluster.sim
+    done = {}
+
+    def driver():
+        outcome = yield from orchestrator.invoke(spec)
+        done["outcome"] = outcome
+
+    def killer(at, thunk):
+        yield sim.timeout(at)
+        thunk()
+
+    sim.process(driver(), name=f"drv-{spec.spec_id}")
+    for at, thunk in kills:
+        sim.process(killer(at, thunk), name="killer")
+    cluster.run(until=budget)
+    assert "outcome" in done, (
+        f"collective {spec.spec_id} did not complete (t={sim.now})"
+    )
+    return done["outcome"]
+
+
+# ---------------------------------------------------------------------------
+# Directory shard kills
+# ---------------------------------------------------------------------------
+
+
+def test_shard_kill_mid_collective_recovers_by_replay():
+    cluster, runtime, _, orchestrator = _build(num_nodes=5)
+    spec = _allgather_spec("sk", 5, 16 * MB)
+    directory = runtime.directory
+    baseline_appends = None
+
+    outcome = _invoke(
+        cluster,
+        orchestrator,
+        spec,
+        kills=[(0.2, lambda: directory.fail_shard(0))],
+    )
+    shard = directory.shards[0]
+    assert directory.shard_kills == 1
+    assert shard.alive and shard.incarnation == 1
+    # Replay actually re-applied durable history...
+    assert shard.last_replay_applied > 0
+    assert shard.wal.replays == 1
+    # ...and reconstructed the wiped records digest-identically (no WAL
+    # appends landed for this shard during the downtime, so the self-check
+    # compares replayed state against the exact pre-kill digest).
+    assert shard.replay_self_check is True
+    # Recovery stalls requests; it never restarts the job.
+    assert orchestrator.metrics["invocations"] == 1
+    assert outcome.completion_time > 0.2
+
+
+def test_shard_kill_replays_checkpoint_plus_tail():
+    cluster, runtime, _, orchestrator = _build(num_nodes=5)
+    spec = _allgather_spec("ck", 5, 16 * MB)
+    directory = runtime.directory
+    shard = directory.shards[0]
+
+    def checkpoint_then_kill():
+        shard.wal.checkpoint()
+        assert shard.wal.tail == []
+        directory.fail_shard(0)
+
+    _invoke(cluster, orchestrator, spec, kills=[(0.2, checkpoint_then_kill)])
+    assert shard.wal.checkpoints == 1
+    assert shard.wal.replays == 1
+    # The checkpoint covered everything at the kill, so the tail replay
+    # applied nothing — recovery came from the snapshot.
+    assert shard.last_replay_applied == 0
+    assert shard.replay_self_check is True
+
+
+def test_crash_at_every_boundary_sweep():
+    """Kill shard 0 after each stride of the unkilled run's WAL history.
+
+    The unkilled run's WAL append times enumerate every point at which the
+    durable history grows; crashing just after each of them (strided to
+    keep the sweep cheap) must never wedge or restart the collective.
+    """
+    num_nodes, nbytes = 4, 4 * MB
+    cluster, runtime, _, orchestrator = _build(num_nodes=num_nodes)
+    spec = _allgather_spec("cb", num_nodes, nbytes)
+    baseline = _invoke(cluster, orchestrator, spec)
+    append_times = sorted(
+        {r.time for r in runtime.directory.shards[0].wal.tail if r.time > 0.0}
+    )
+    assert append_times, "shard 0 recorded no WAL appends in the baseline"
+    stride = max(1, len(append_times) // 6)
+    boundaries = append_times[::stride]
+
+    epsilon = 1e-6
+    for boundary in boundaries:
+        cluster, runtime, _, orchestrator = _build(num_nodes=num_nodes)
+        spec = _allgather_spec("cb", num_nodes, nbytes)
+        directory = runtime.directory
+        outcome = _invoke(
+            cluster,
+            orchestrator,
+            spec,
+            kills=[(boundary + epsilon, lambda d=directory: d.fail_shard(0))],
+        )
+        shard = directory.shards[0]
+        assert shard.alive, f"shard not recovered for kill at {boundary}"
+        assert shard.wal.replays == 1
+        assert shard.replay_self_check is not False, (
+            f"replay diverged from pre-kill state for kill at {boundary}"
+        )
+        assert orchestrator.metrics["invocations"] == 1
+        assert outcome.completion_time > 0.0
+
+
+def test_double_kill_same_shard_recovers_twice():
+    cluster, runtime, _, orchestrator = _build(num_nodes=5)
+    spec = _allgather_spec("dk", 5, 16 * MB)
+    directory = runtime.directory
+    _invoke(
+        cluster,
+        orchestrator,
+        spec,
+        kills=[
+            (0.15, lambda: directory.fail_shard(1)),
+            (0.45, lambda: directory.fail_shard(1)),
+        ],
+    )
+    shard = directory.shards[1]
+    assert directory.shard_kills == 2
+    assert shard.alive and shard.incarnation == 2
+    assert shard.wal.replays == 2
+
+
+# ---------------------------------------------------------------------------
+# Lineage / ownership kills (the orchestrator's own WAL)
+# ---------------------------------------------------------------------------
+
+
+def test_control_plane_kill_mid_collective_resumes_spec():
+    cluster, runtime, _, orchestrator = _build(num_nodes=5)
+    spec = _allreduce_spec("cp", 5, 16 * MB)
+    _invoke(
+        cluster,
+        orchestrator,
+        spec,
+        kills=[(0.2, orchestrator.kill_control_plane)],
+    )
+    assert orchestrator.metrics["control_plane_kills"] == 1
+    assert orchestrator.control_alive
+    # The replayed lineage re-submitted the in-flight spec at its durable
+    # incarnation; the (key, incarnation) dedup adopted the live tasks.
+    assert orchestrator.metrics["control_plane_resubmissions"] >= 1
+    assert spec.spec_id in orchestrator.lineage
+    assert spec.spec_id in orchestrator.completed
+    assert orchestrator.wal.replays == 1
+    # One invocation end to end: recovery resumed, it did not restart.
+    assert orchestrator.metrics["invocations"] == 1
+
+
+def test_replay_after_restart_skips_completed_and_unsubmitted_specs():
+    cluster, runtime, _, orchestrator = _build(num_nodes=3)
+    done_spec = _allgather_spec("done", 3, MB)
+    _invoke(cluster, orchestrator, done_spec)
+    registered = _allgather_spec("registered-only", 3, MB)
+    orchestrator.register(registered)
+    applied, resubmitted = orchestrator.replay_after_restart()
+    assert applied == orchestrator.wal.appends
+    # Completed specs and registered-but-never-submitted specs are not
+    # re-submitted; there was nothing in flight.
+    assert resubmitted == 0
+    assert done_spec.spec_id in orchestrator.completed
+    assert registered.spec_id in orchestrator.lineage
+
+
+# ---------------------------------------------------------------------------
+# Streaming allreduce recovery satellites
+# ---------------------------------------------------------------------------
+
+
+def test_contributor_loss_preserves_root_progress():
+    cluster, runtime, _, orchestrator = _build(num_nodes=5)
+    spec = _allreduce_spec("arp", 5, 64 * MB)
+    cluster.schedule_failure(1, at=0.5, recover_at=0.8)
+    _invoke(cluster, orchestrator, spec)
+    # The failed contributor was reconstructed from lineage with identical
+    # data, so the root kept its already-reduced prefix instead of resetting.
+    assert runtime.root_progress_preserved >= 1
+    assert runtime.root_prefix_seeds == 0
+
+
+def test_root_loss_seeds_prefix_from_receiver():
+    cluster, runtime, _, orchestrator = _build(num_nodes=5)
+    spec = _allreduce_spec("ars", 5, 64 * MB)
+    # Node 4 hosts the reduce tree's root slot in this configuration; its
+    # death forces the re-created root to pull the longest surviving prefix
+    # back from a receiver instead of recomputing from scratch.
+    cluster.schedule_failure(4, at=0.5, recover_at=0.8)
+    _invoke(cluster, orchestrator, spec)
+    assert runtime.root_prefix_seeds >= 1
+
+
+# ---------------------------------------------------------------------------
+# Metrics: the control_plane_ops family through the exporters
+# ---------------------------------------------------------------------------
+
+
+def test_control_plane_ops_metrics_exported():
+    reset_id_counter()
+    cluster = Cluster(num_nodes=5, network=NetworkConfig(**NET))
+    obs = cluster.enable_observability()
+    runtime = HopliteRuntime(cluster)
+    system = TaskSystem(cluster, HoplitePlane(runtime))
+    orchestrator = CollectiveOrchestrator(system)
+    spec = _allgather_spec("mx", 5, 16 * MB)
+    directory = runtime.directory
+    _invoke(
+        cluster,
+        orchestrator,
+        spec,
+        kills=[(0.2, lambda: directory.fail_shard(0))],
+    )
+    family = obs.registry.families["control_plane_ops"]
+    values = {key[0]: child.value for key, child in family.children.items()}
+    assert values["wal_appends"] > 0
+    assert values["replays"] == 1
+    assert values["shard_rpcs"] > 0
+    # The family exports through the frozen taxonomy like any other.
+    payload = to_json(obs.registry)
+    names = {f["name"] for f in payload["families"]}
+    assert "control_plane_ops" in names
